@@ -1,0 +1,22 @@
+"""Benchmark for the intro's qualitative triangle: MPIL vs flooding vs
+random walks, with identical replica placement.
+
+Expected shape: flooding reaches the highest success at an order of
+magnitude more traffic; random walks are cheap but the least reliable;
+MPIL combines near-flooding success with near-walk traffic.
+"""
+
+
+def test_baseline_comparison(run_and_print):
+    result = run_and_print("baseline-comparison")
+    for family in ("power-law", "random"):
+        rows = {row[1]: row for row in result.rows if row[0] == family}
+        mpil = next(v for k, v in rows.items() if k.startswith("mpil"))
+        flood = next(v for k, v in rows.items() if k.startswith("flood"))
+        walks = next(v for k, v in rows.items() if k.startswith("walks"))
+        # flooding costs far more traffic than MPIL
+        assert flood[3] > 3 * mpil[3]
+        # MPIL is competitive with flooding on success
+        assert mpil[2] >= flood[2] - 20.0
+        # and at least as reliable as blind random walks
+        assert mpil[2] >= walks[2] - 5.0

@@ -1,0 +1,24 @@
+"""Extension benchmark: the Figure-11 comparison rerun under
+continuous-time churn (exponential sessions, 50% availability).
+
+Expected shape: with a memoryless renewal process at fixed 50%
+availability, success is governed by instantaneous availability rather
+than churn *speed*, so each variant's curve is roughly flat across mean
+session lengths; maintenance-free MPIL stays in the same band as MSPastry
+with its full maintenance machinery.
+"""
+
+
+def test_ext_churn(run_and_print):
+    result = run_and_print("ext-churn")
+    sessions = result.column("mean_session_s")
+    assert sessions == sorted(sessions, reverse=True)
+    for column in ("MSPastry", "MPIL with DS", "MPIL without DS"):
+        values = result.column(column)
+        assert all(0.0 <= v <= 100.0 for v in values)
+        # roughly flat across churn speeds (availability-dominated)
+        assert max(values) - min(values) <= 35.0
+    # maintenance-free MPIL stays competitive with full-maintenance Pastry
+    pastry_mean = sum(result.column("MSPastry")) / len(sessions)
+    nods_mean = sum(result.column("MPIL without DS")) / len(sessions)
+    assert nods_mean >= pastry_mean - 15.0

@@ -1,0 +1,18 @@
+"""Benchmark regenerating Figure 1: the effect of perturbation on MSPastry.
+
+Expected shape (paper): 45:15 stays above 90% at low p; 30:30 ~85% already
+at p=0.1; 1:1 decays almost linearly; 300:300 collapses toward 0 for
+p >= 0.8.
+"""
+
+
+def test_fig1_pastry_under_perturbation(run_and_print):
+    result = run_and_print("fig1")
+    by_period = {}
+    for period, prob, success, *_rest in result.rows:
+        by_period.setdefault(period, {})[prob] = success
+    # sanity: every curve decays from p=0.1 to p=1.0
+    for period, curve in by_period.items():
+        assert curve[min(curve)] >= curve[max(curve)], period
+    # the long-perturbation curve collapses hardest
+    assert by_period["300:300"][1.0] <= by_period["45:15"][1.0]

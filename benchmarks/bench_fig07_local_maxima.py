@@ -1,0 +1,11 @@
+"""Benchmark regenerating Figure 7: expected local maxima for random
+regular topologies (Section 5 closed form)."""
+
+
+def test_fig7_expected_local_maxima(run_and_print):
+    result = run_and_print("fig7")
+    # maxima decrease with degree and increase with N
+    for n in sorted(set(result.column("nodes"))):
+        series = [row for row in result.rows if row[0] == n]
+        values = [row[2] for row in sorted(series, key=lambda r: r[1])]
+        assert values == sorted(values, reverse=True)

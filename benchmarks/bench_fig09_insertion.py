@@ -1,0 +1,16 @@
+"""Benchmark regenerating Figure 9: MPIL insertion behaviour (replicas,
+traffic, duplicates) over power-law and random overlays.
+
+Expected shapes: replicas and traffic stay well under the
+max_flows x per-flow-replicas = 150 cap; random-overlay replicas grow with
+N while power-law stays flatter; power-law accumulates duplicates.
+"""
+
+
+def test_fig9_insertion_behaviour(run_and_print):
+    result = run_and_print("fig9")
+    cap = 30 * 5
+    for _family, _n, replicas, traffic, _dups, flows in result.rows:
+        assert replicas <= cap
+        assert flows <= 30
+        assert traffic > 0

@@ -1,0 +1,13 @@
+"""Benchmark regenerating Figure 10: MPIL lookup latency (hops of the
+first successful reply) and lookup traffic versus overlay size.
+
+Expected shape: both stay roughly flat in N (bounded by the flow/replica
+budget, not by overlay size)."""
+
+
+def test_fig10_lookup_latency_and_traffic(run_and_print):
+    result = run_and_print("fig10")
+    for _family, _n, hops, traffic, first_traffic, success in result.rows:
+        assert 0 <= hops < 20
+        assert first_traffic <= traffic
+        assert success >= 80.0

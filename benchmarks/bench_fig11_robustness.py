@@ -1,0 +1,20 @@
+"""Benchmark regenerating Figure 11: success under perturbation for
+MSPastry, MSPastry+RR, MPIL with DS, and MPIL without DS, over
+idle:offline in {1:1, 30:30, 300:300}.
+
+Expected shape: MPIL (especially without DS) beats plain MSPastry under
+long perturbation, and MSPastry collapses on 300:300 at high flapping
+probability."""
+
+
+def test_fig11_robustness_comparison(run_and_print):
+    result = run_and_print("fig11")
+    # at the heaviest long-term perturbation, MPIL must beat plain MSPastry
+    heavy = [
+        row
+        for row in result.rows
+        if row[0] == "300:300" and row[1] == max(result.column("flap_prob"))
+    ]
+    assert heavy
+    _period, _p, pastry, _rr, mpil_ds, mpil_nods = heavy[0]
+    assert max(mpil_ds, mpil_nods) >= pastry

@@ -1,0 +1,23 @@
+"""Benchmark regenerating Figure 12: lookup traffic vs total traffic
+(including maintenance), idle:offline = 30:30.
+
+Expected shape: MPIL sends more lookup messages than MSPastry, but
+MSPastry's maintenance probes dominate total traffic while MPIL runs no
+maintenance at all."""
+
+
+def test_fig12_traffic_comparison(run_and_print, bench_scale):
+    result = run_and_print("fig12")
+    rows = result.rows
+    pastry_rows = [r for r in rows if r[0] == "MSPastry"]
+    nods_rows = [r for r in rows if r[0] == "MPIL without DS"]
+    assert pastry_rows and nods_rows
+    total_pastry = sum(r[5] for r in pastry_rows)
+    total_nods = sum(r[5] for r in nods_rows)
+    assert total_pastry > total_nods  # maintenance dominates overall
+    if bench_scale != "smoke":
+        # the per-lookup multicast premium needs realistic path lengths,
+        # which the tiny smoke overlay does not have
+        lookup_pastry = sum(r[2] for r in pastry_rows)
+        lookup_nods = sum(r[2] for r in nods_rows)
+        assert lookup_nods > lookup_pastry

@@ -1,0 +1,14 @@
+"""Benchmark regenerating Table 1: MPIL lookup success rate over power-law
+topologies (nodes x max_flows x per-flow replicas).
+
+Expected shape: success grows in per-flow replicas (r=1 around 50-60%,
+near-100% for r >= 3) and grows in max_flows."""
+
+
+def test_table1_powerlaw_success(run_and_print):
+    result = run_and_print("tab1")
+    for row in result.rows:
+        r_values = row[2:]
+        assert all(0.0 <= v <= 100.0 for v in r_values)
+        # r=5 must beat r=1 (redundancy pays)
+        assert r_values[-1] >= r_values[0]

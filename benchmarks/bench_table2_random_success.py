@@ -1,0 +1,13 @@
+"""Benchmark regenerating Table 2: MPIL lookup success rate over random
+(fixed-degree) topologies.
+
+Expected shape: already high at r=1 and saturating ~100% for r >= 2 —
+higher than the power-law numbers of Table 1 at the same settings."""
+
+
+def test_table2_random_success(run_and_print):
+    result = run_and_print("tab2")
+    for row in result.rows:
+        r_values = row[2:]
+        assert r_values[-1] >= r_values[0]
+        assert r_values[-1] >= 90.0  # (30,5)-insertion + r=5 lookup saturates

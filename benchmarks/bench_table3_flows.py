@@ -1,0 +1,19 @@
+"""Benchmark regenerating Table 3: actual number of flows created by
+lookups (max_flows=10, per-flow replicas=3).
+
+Expected shape: below the budget of 10, growing with overlay size.  Note
+the reproduction's absolute flow counts sit below the paper's 8.78-9.63
+(tie statistics of the substitute topology generators differ — see
+EXPERIMENTS.md)."""
+
+
+def test_table3_actual_flows(run_and_print):
+    result = run_and_print("tab3")
+    for _family, _n, flows in result.rows:
+        assert 1.0 <= flows <= 10.0
+    for family in ("power-law", "random"):
+        series = sorted(
+            (row for row in result.rows if row[0] == family), key=lambda r: r[1]
+        )
+        if len(series) >= 2:
+            assert series[-1][2] >= series[0][2] - 0.5  # non-collapsing in N

@@ -1,0 +1,49 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's figures or tables and prints
+the resulting rows (compare them against EXPERIMENTS.md and the paper).
+Experiments are expensive end-to-end simulations, so every benchmark runs
+exactly once (``pedantic`` with one round) — the interesting output is the
+table and the wall-clock time, not statistical timing jitter.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``smoke``, ``default`` or
+``paper`` (default: ``default``).  ``paper`` reproduces the published
+parameters and can take hours in pure Python.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+
+@pytest.fixture()
+def run_and_print(benchmark, bench_scale, bench_seed):
+    """Run one experiment exactly once under the benchmark and print it."""
+
+    def runner(experiment_id: str):
+        result = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id,),
+            kwargs={"scale": bench_scale, "seed": bench_seed},
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(result.table())
+        return result
+
+    return runner

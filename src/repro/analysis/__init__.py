@@ -1,0 +1,30 @@
+"""Closed-form analysis of MPIL (paper Section 5).
+
+Expected number of local maxima, expected replicas on complete topologies,
+and expected random-walk hops to a local maximum, for arbitrary degree
+distributions.
+"""
+
+from repro.analysis.local_maxima import (
+    expected_hops_to_local_maximum,
+    expected_local_maxima,
+    expected_local_maxima_regular,
+    expected_replicas_complete,
+    prob_at_most_k_common,
+    prob_k_common,
+    prob_less_than_k_common,
+    prob_local_maximum,
+    prob_no_common_digits,
+)
+
+__all__ = [
+    "expected_hops_to_local_maximum",
+    "expected_local_maxima",
+    "expected_local_maxima_regular",
+    "expected_replicas_complete",
+    "prob_at_most_k_common",
+    "prob_k_common",
+    "prob_less_than_k_common",
+    "prob_local_maximum",
+    "prob_no_common_digits",
+]

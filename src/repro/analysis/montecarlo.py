@@ -1,0 +1,81 @@
+"""Monte-Carlo counterparts of the Section 5 formulas.
+
+These helpers measure, by direct sampling, the quantities the closed forms
+predict — used by the test suite to validate the analysis and available to
+users who want the same cross-check on their own overlays.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.identifiers import IdSpace
+from repro.core.metric import NeighborMetricTable
+from repro.errors import ConfigurationError
+from repro.overlay.graph import OverlayGraph
+
+
+def sample_local_maxima_count(
+    overlay: OverlayGraph,
+    space: IdSpace,
+    rng: random.Random,
+    strict: bool = True,
+) -> int:
+    """Draw fresh i.i.d. node IDs and one message ID, and count the local
+    maxima of the common-digits metric (strict by default, matching the
+    Section 5 formula's ``B = P(strictly fewer matches)``)."""
+    message = space.random_identifier(rng)
+    scores = [
+        space.random_identifier(rng).common_digits(message)
+        for _ in range(overlay.n)
+    ]
+    count = 0
+    for node in range(overlay.n):
+        neighbor_scores = [scores[v] for v in overlay.neighbors(node)]
+        if not neighbor_scores:
+            count += 1
+        elif strict and scores[node] > max(neighbor_scores):
+            count += 1
+        elif not strict and scores[node] >= max(neighbor_scores):
+            count += 1
+    return count
+
+
+def mean_local_maxima(
+    overlay: OverlayGraph,
+    space: IdSpace,
+    trials: int,
+    seed: object = 0,
+    strict: bool = True,
+) -> float:
+    """Average :func:`sample_local_maxima_count` over ``trials`` draws."""
+    if trials < 1:
+        raise ConfigurationError(f"trials must be >= 1, got {trials}")
+    rng = random.Random(hash(("mc-maxima", repr(seed))) & 0xFFFFFFFF)
+    total = sum(
+        sample_local_maxima_count(overlay, space, rng, strict=strict)
+        for _ in range(trials)
+    )
+    return total / trials
+
+
+def count_local_maxima_for_ids(
+    overlay: OverlayGraph,
+    table: NeighborMetricTable,
+    object_id,
+    strict: bool = False,
+) -> int:
+    """Count local maxima for a *fixed* assignment of node IDs (the
+    overlay's actual identifiers), using the insertion rule by default
+    (ties allowed, as replicas are placed)."""
+    count = 0
+    for node in range(overlay.n):
+        scores = table.scores(node, object_id)
+        self_score = table.self_score(node, object_id)
+        if scores.size == 0:
+            count += 1
+            continue
+        best = int(scores.max())
+        if (self_score > best) if strict else (self_score >= best):
+            count += 1
+    return count

@@ -1,0 +1,80 @@
+"""TTL-limited flooding lookup (the Gnutella baseline).
+
+A query floods breadth-first: every node that receives it for the first
+time forwards it to all neighbors except the one it came from, until the
+TTL is exhausted.  Nodes holding the object reply and do not forward
+further.  Traffic counts every per-edge send, like the MPIL drivers.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Optional
+
+from repro.core.identifiers import Identifier
+from repro.core.replicas import ReplicaDirectory
+from repro.errors import RoutingError
+from repro.overlay.graph import OverlayGraph
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineLookupResult:
+    """Outcome of a baseline (flooding / random walk) lookup."""
+
+    object_id: Identifier
+    origin: int
+    success: bool
+    first_reply_hop: Optional[int]
+    replies: tuple[tuple[int, int], ...]
+    traffic: int
+    nodes_contacted: int
+
+
+def flood_lookup(
+    overlay: OverlayGraph,
+    directory: ReplicaDirectory,
+    origin: int,
+    object_id: Identifier,
+    ttl: int = 4,
+) -> BaselineLookupResult:
+    """Flood a query from ``origin`` with the given TTL (in hops).
+
+    >>> # doctest-free: exercised in tests/test_baselines.py
+    """
+    if not 0 <= origin < overlay.n:
+        raise RoutingError(f"origin {origin} out of range (n={overlay.n})")
+    if ttl < 0:
+        raise RoutingError(f"ttl must be non-negative, got {ttl}")
+
+    replies: list[tuple[int, int]] = []
+    traffic = 0
+    seen = {origin}
+    frontier: collections.deque[tuple[int, int, int]] = collections.deque()
+    # (node, hop, parent)
+    frontier.append((origin, 0, -1))
+    while frontier:
+        node, hop, parent = frontier.popleft()
+        if directory.has(node, object_id):
+            replies.append((node, hop))
+            continue  # a holder answers and stops forwarding
+        if hop >= ttl:
+            continue
+        for neighbor in overlay.neighbors(node):
+            if neighbor == parent:
+                continue
+            traffic += 1
+            if neighbor in seen:
+                continue
+            seen.add(neighbor)
+            frontier.append((neighbor, hop + 1, node))
+    replies.sort(key=lambda item: item[1])
+    return BaselineLookupResult(
+        object_id=object_id,
+        origin=origin,
+        success=bool(replies),
+        first_reply_hop=replies[0][1] if replies else None,
+        replies=tuple(replies),
+        traffic=traffic,
+        nodes_contacted=len(seen),
+    )

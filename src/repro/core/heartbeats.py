@@ -1,0 +1,118 @@
+"""The deletion protocol of Section 4.4.
+
+"Whenever a replica is placed in a node, the node sends a periodic
+heartbeat to the owner of the original object.  When the originator wants
+to delete a replica, it sends an explicit delete message to the node."
+
+``HeartbeatService`` runs on the event engine: replica holders emit
+heartbeats every ``period`` seconds; the owner accumulates the holder set
+from the heartbeats it receives; ``delete`` sends explicit delete messages
+to every holder the owner knows about (plus, optionally, holders it has not
+heard from yet — the paper discusses "just one of" many possible designs,
+and partial knowledge is inherent to it).  Holders whose heartbeats lapse
+beyond ``failure_multiplier`` periods are dropped from the owner's view.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.core.identifiers import Identifier
+from repro.core.network import MPILNetwork
+from repro.core.results import InsertResult
+from repro.errors import SimulationError
+from repro.sim.availability import AlwaysOnline, AvailabilityModel
+from repro.sim.counters import TrafficCounters
+from repro.sim.engine import EventScheduler
+
+
+@dataclasses.dataclass
+class _Registration:
+    owner: int
+    object_id: Identifier
+    holders: set[int] = dataclasses.field(default_factory=set)
+    last_heard: dict[int, float] = dataclasses.field(default_factory=dict)
+    active: bool = True
+
+
+class HeartbeatService:
+    """Periodic replica heartbeats plus explicit deletion."""
+
+    def __init__(
+        self,
+        network: MPILNetwork,
+        engine: EventScheduler,
+        period: float = 30.0,
+        failure_multiplier: float = 3.0,
+        availability: AvailabilityModel = AlwaysOnline(),
+    ):
+        if period <= 0:
+            raise SimulationError(f"heartbeat period must be positive, got {period}")
+        self.network = network
+        self.engine = engine
+        self.period = period
+        self.failure_multiplier = failure_multiplier
+        self.availability = availability
+        self.counters = TrafficCounters()
+        self._registrations: dict[int, _Registration] = {}
+
+    def register_insert(self, result: InsertResult) -> None:
+        """Start heartbeats for every replica created by an insertion."""
+        reg = self._registrations.get(result.object_id.value)
+        if reg is None:
+            reg = _Registration(owner=result.owner, object_id=result.object_id)
+            self._registrations[result.object_id.value] = reg
+        for holder in result.replicas:
+            self._schedule_heartbeat(reg, holder, first=True)
+
+    def _schedule_heartbeat(self, reg: _Registration, holder: int, first: bool) -> None:
+        delay = 0.0 if first else self.period
+
+        def beat() -> None:
+            if not reg.active:
+                return
+            if not self.network.directory.has(holder, reg.object_id):
+                return  # replica deleted locally; stop beating
+            if self.availability.is_online(holder, self.engine.now):
+                self.counters.messages_sent += 1
+                if self.availability.is_online(reg.owner, self.engine.now):
+                    reg.holders.add(holder)
+                    reg.last_heard[holder] = self.engine.now
+            self._schedule_heartbeat(reg, holder, first=False)
+
+        self.engine.schedule(delay, beat)
+
+    def known_holders(self, object_id: Identifier) -> frozenset[int]:
+        """Holders the owner currently believes exist (heartbeat view)."""
+        reg = self._registrations.get(object_id.value)
+        if reg is None:
+            return frozenset()
+        horizon = self.period * self.failure_multiplier
+        now = self.engine.now
+        return frozenset(
+            holder
+            for holder in reg.holders
+            if now - reg.last_heard.get(holder, -float("inf")) <= horizon
+        )
+
+    def delete(self, object_id: Identifier, include_unknown: bool = False) -> int:
+        """Owner-initiated deletion: explicit delete message per known holder.
+
+        Returns the number of replicas removed.  With ``include_unknown``
+        the directory's full holder set is swept as well (models an owner
+        that also remembers the insert result).
+        """
+        reg = self._registrations.get(object_id.value)
+        if reg is None:
+            return 0
+        targets = set(self.known_holders(object_id))
+        if include_unknown:
+            targets |= set(self.network.directory.holders(object_id))
+        removed = 0
+        for holder in targets:
+            self.counters.messages_sent += 1
+            if self.network.directory.remove(holder, object_id):
+                removed += 1
+        reg.active = False
+        return removed

@@ -1,0 +1,302 @@
+"""Synchronous MPIL driver for static overlays.
+
+This is the reproduction of the paper's first simulator: "a simulator
+written in Python that simulates overlay-level routing ... a message-level
+simulator, not a packet-level simulator" (Section 6).  All nodes are
+online; message propagation is hop-ordered (a FIFO queue gives exact
+breadth-first timing, equivalent to unit per-hop latency), which is all the
+static experiments of Section 6.1 measure.
+
+The driver owns:
+
+- the overlay graph and node identifiers;
+- the vectorised :class:`~repro.core.metric.NeighborMetricTable`;
+- the global :class:`~repro.core.replicas.ReplicaDirectory`;
+- traffic/duplicate/flow accounting per request.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Optional, Sequence
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import Identifier, IdSpace
+from repro.core.messages import KIND_INSERT, KIND_LOOKUP, MPILMessage
+from repro.core.metric import NeighborMetricTable, metric_by_name
+from repro.core.replicas import ReplicaDirectory
+from repro.core.results import InsertResult, LookupResult
+from repro.core.routing import decide_forwarding
+from repro.errors import ConfigurationError, RoutingError
+from repro.overlay.graph import OverlayGraph
+from repro.sim.rng import derive_rng
+from repro.sim.trace import TraceRecorder
+
+
+class MPILNetwork:
+    """A static overlay running the MPIL insertion/lookup protocol.
+
+    Parameters
+    ----------
+    overlay:
+        Any :class:`OverlayGraph` (the algorithm is overlay-independent).
+    space:
+        Identifier space (default: the paper's 160-bit base-16 space).
+    ids:
+        Optional explicit node identifiers; drawn uniformly at random
+        (distinct) when omitted.
+    config:
+        :class:`MPILConfig` defaults for insert/lookup operations; individual
+        calls may override ``max_flows`` and ``per_flow_replicas``.
+    seed:
+        Root seed for identifier generation and tie-break randomness.
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayGraph,
+        space: IdSpace = IdSpace(),
+        ids: Optional[Sequence[Identifier]] = None,
+        config: MPILConfig = MPILConfig(),
+        seed: object = 0,
+        trace: Optional[TraceRecorder] = None,
+    ):
+        self.overlay = overlay
+        self.space = space
+        self.config = config
+        self.seed = seed
+        self.trace = trace
+        if ids is None:
+            rng = derive_rng(seed, "node-ids", overlay.n)
+            self.ids: tuple[Identifier, ...] = tuple(
+                space.random_unique_identifiers(overlay.n, rng)
+            )
+        else:
+            if len(ids) != overlay.n:
+                raise ConfigurationError(
+                    f"{len(ids)} identifiers supplied for {overlay.n} nodes"
+                )
+            for identifier in ids:
+                if identifier.space != space:
+                    raise ConfigurationError(
+                        "explicit identifiers must live in the network's id space"
+                    )
+            self.ids = tuple(ids)
+        self.metric_table = NeighborMetricTable(
+            overlay, self.ids, metric=metric_by_name(config.metric)
+        )
+        self.directory = ReplicaDirectory()
+        self._next_request_id = 0
+
+    # -- public API ---------------------------------------------------------
+
+    def random_object_id(self, rng) -> Identifier:
+        """Draw a fresh object identifier from the network's id space."""
+        return self.space.random_identifier(rng)
+
+    def insert(
+        self,
+        origin: int,
+        object_id: Identifier,
+        owner: Optional[int] = None,
+        max_flows: Optional[int] = None,
+        per_flow_replicas: Optional[int] = None,
+    ) -> InsertResult:
+        """Insert a pointer for ``object_id`` starting from ``origin``.
+
+        ``owner`` identifies the node that actually holds the object (the
+        pointer target); it defaults to the origin.
+        """
+        self._check_node(origin)
+        owner = origin if owner is None else owner
+        run = self._run_request(
+            kind=KIND_INSERT,
+            origin=origin,
+            object_id=object_id,
+            owner=owner,
+            max_flows=max_flows if max_flows is not None else self.config.max_flows,
+            per_flow_replicas=(
+                per_flow_replicas
+                if per_flow_replicas is not None
+                else self.config.per_flow_replicas
+            ),
+        )
+        return InsertResult(
+            object_id=object_id,
+            origin=origin,
+            owner=owner,
+            replicas=tuple(sorted(run["stored"])),
+            traffic=run["traffic"],
+            duplicates=run["duplicates"],
+            flows_created=run["flows"],
+            max_hop=run["max_hop"],
+        )
+
+    def lookup(
+        self,
+        origin: int,
+        object_id: Identifier,
+        max_flows: Optional[int] = None,
+        per_flow_replicas: Optional[int] = None,
+    ) -> LookupResult:
+        """Query for ``object_id`` starting from ``origin``."""
+        self._check_node(origin)
+        run = self._run_request(
+            kind=KIND_LOOKUP,
+            origin=origin,
+            object_id=object_id,
+            owner=origin,
+            max_flows=max_flows if max_flows is not None else self.config.max_flows,
+            per_flow_replicas=(
+                per_flow_replicas
+                if per_flow_replicas is not None
+                else self.config.per_flow_replicas
+            ),
+        )
+        replies = tuple(run["replies"])
+        return LookupResult(
+            object_id=object_id,
+            origin=origin,
+            success=bool(replies),
+            first_reply_hop=replies[0][1] if replies else None,
+            replies=replies,
+            traffic=run["traffic"],
+            traffic_at_first_reply=run["traffic_at_first_reply"],
+            duplicates=run["duplicates"],
+            flows_created=run["flows"],
+        )
+
+    def delete(self, object_id: Identifier) -> int:
+        """Remove every replica of an object from the directory.
+
+        The full deletion *protocol* (heartbeats + explicit delete messages,
+        Section 4.4) lives in :class:`repro.core.heartbeats.HeartbeatService`;
+        this method is the directory-level primitive it uses.
+        """
+        return self.directory.remove_object(object_id)
+
+    # -- request propagation -------------------------------------------------
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.overlay.n:
+            raise RoutingError(f"node index {node} out of range (n={self.overlay.n})")
+
+    def _run_request(
+        self,
+        kind: str,
+        origin: int,
+        object_id: Identifier,
+        owner: int,
+        max_flows: int,
+        per_flow_replicas: int,
+    ) -> dict:
+        """Propagate one request to quiescence and return its accounting."""
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        rng = derive_rng(self.seed, "request", request_id)
+        cfg = self.config
+
+        queue: collections.deque[MPILMessage] = collections.deque()
+        queue.append(
+            MPILMessage(
+                kind=kind,
+                request_id=request_id,
+                object_id=object_id,
+                origin=origin,
+                owner=owner,
+                at=origin,
+                route=(),
+                max_flows=max_flows,
+                replicas_left=per_flow_replicas,
+                hop=0,
+                given_flows=0,
+            )
+        )
+
+        processed: set[int] = set()
+        received: set[int] = set()
+        stored: list[int] = []
+        replies: list[tuple[int, int]] = []
+        traffic = 0
+        traffic_at_first_reply: Optional[int] = None
+        duplicates = 0
+        flows = 0
+        max_hop = 0
+
+        while queue:
+            msg = queue.popleft()
+            node = msg.at
+            max_hop = max(max_hop, msg.hop)
+
+            if node in received:
+                duplicates += 1
+                if cfg.duplicate_suppression:
+                    continue
+            received.add(node)
+            if cfg.duplicate_suppression and node in processed:
+                continue
+            processed.add(node)
+
+            if kind == KIND_LOOKUP and self.directory.has(node, object_id):
+                # "each recipient node checks to see it has the object; if it
+                # does, it stops forwarding the query and replies back
+                # directly to the querying node."
+                replies.append((node, msg.hop))
+                if traffic_at_first_reply is None:
+                    traffic_at_first_reply = traffic
+                if self.trace is not None:
+                    self.trace.emit(msg.hop, "reply", node, request=request_id)
+                continue
+
+            neighbor_ids = self.metric_table.neighbor_array(node)
+            neighbor_scores = self.metric_table.scores(node, object_id)
+            self_score = self.metric_table.self_score(node, object_id)
+            excluded = set(msg.route)
+            excluded.add(node)
+            decision = decide_forwarding(
+                self_score=self_score,
+                neighbor_ids=neighbor_ids,
+                neighbor_scores=neighbor_scores,
+                excluded=excluded,
+                max_flows=msg.max_flows,
+                given_flows=msg.given_flows,
+                rng=rng,
+                tie_break=cfg.tie_break,
+                local_max_rule=cfg.local_max_rule,
+            )
+
+            replicas_left = msg.replicas_left
+            if decision.is_local_max:
+                if kind == KIND_INSERT:
+                    self.directory.store(node, object_id, owner, hop=msg.hop)
+                    if node not in stored:
+                        stored.append(node)
+                    if self.trace is not None:
+                        self.trace.emit(msg.hop, "store", node, request=request_id)
+                replicas_left -= 1
+                if replicas_left <= 0:
+                    continue
+
+            if not decision.next_hops:
+                continue
+
+            flows += decision.new_flows
+            for next_node, budget in zip(decision.next_hops, decision.budgets):
+                traffic += 1
+                child = msg.child(next_node, budget)
+                child.replicas_left = replicas_left
+                queue.append(child)
+                if self.trace is not None:
+                    self.trace.emit(
+                        msg.hop, "send", node, to=next_node, request=request_id
+                    )
+
+        return {
+            "stored": stored,
+            "replies": replies,
+            "traffic": traffic,
+            "traffic_at_first_reply": traffic_at_first_reply,
+            "duplicates": duplicates,
+            "flows": flows,
+            "max_hop": max_hop,
+        }

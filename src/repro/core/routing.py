@@ -1,0 +1,147 @@
+"""The MPIL forwarding decision (Figure 5's pseudo-code, as a pure function).
+
+Given the metric scores of a node's neighbors against the message's object
+ID, :func:`decide_forwarding` determines:
+
+- whether the current node is a *local maximum* ("an object is inserted at
+  a node when none of its neighbor nodes have a higher MPIL routing metric
+  value than the node", Section 4.4);
+- which neighbors the message is forwarded to (the highest-scoring
+  unvisited neighbors, capped by the flow budget);
+- the flow budget each child copy carries.
+
+Keeping this a pure function of explicit inputs lets both the synchronous
+static driver and the event-driven timed driver share one implementation,
+and makes property testing straightforward.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import AbstractSet, Optional, Sequence
+
+import numpy as np
+
+from repro.core.flows import allowed_fanout, flows_consumed, split_flow_budget
+
+
+@dataclasses.dataclass(frozen=True)
+class ForwardDecision:
+    """Outcome of one node's handling of one message copy."""
+
+    is_local_max: bool
+    next_hops: tuple[int, ...]
+    budgets: tuple[int, ...]
+    self_score: int
+    best_candidate_score: Optional[int]
+    new_flows: int
+
+    @property
+    def fanout(self) -> int:
+        return len(self.next_hops)
+
+
+def decide_forwarding(
+    self_score: int,
+    neighbor_ids: np.ndarray,
+    neighbor_scores: np.ndarray,
+    excluded: AbstractSet[int],
+    max_flows: int,
+    given_flows: int,
+    rng: random.Random,
+    tie_break: str = "random",
+    local_max_rule: str = "all-neighbors",
+) -> ForwardDecision:
+    """Apply the MPIL routing rule at one node.
+
+    Parameters
+    ----------
+    self_score:
+        Metric value of the current node against the object ID.
+    neighbor_ids / neighbor_scores:
+        Aligned arrays of neighbor indices and their metric values.
+    excluded:
+        Nodes that may not be chosen as next hops: the message's route plus
+        the current node ("Choosing next_hop_list is dependent only on peers
+        in neighbor_list, excluding the nodes in M.route and N").
+    max_flows / given_flows:
+        Flow-budget state of the message copy being processed.
+    tie_break:
+        ``"random"`` samples which equal-metric candidates are used when
+        there are more than the budget allows; ``"lowest-id"`` picks
+        deterministically.
+    local_max_rule:
+        ``"all-neighbors"`` tests the local maximum against every neighbor
+        (the pseudo-code's "all nodes in neighbor list"); ``"unvisited-only"``
+        tests only against the unvisited candidates (ablation).
+    """
+    n = len(neighbor_ids)
+    candidate_positions = [
+        i for i in range(n) if int(neighbor_ids[i]) not in excluded
+    ]
+    if candidate_positions:
+        best = max(int(neighbor_scores[i]) for i in candidate_positions)
+        best_positions = [
+            i for i in candidate_positions if int(neighbor_scores[i]) == best
+        ]
+        best_candidate_score: Optional[int] = best
+    else:
+        best_positions = []
+        best_candidate_score = None
+
+    if local_max_rule == "all-neighbors":
+        reference = int(neighbor_scores.max()) if n else None
+    else:
+        reference = best_candidate_score
+    is_local_max = reference is None or self_score >= reference
+
+    fanout = allowed_fanout(max_flows, given_flows, len(best_positions))
+    if fanout == 0:
+        return ForwardDecision(
+            is_local_max=is_local_max,
+            next_hops=(),
+            budgets=(),
+            self_score=self_score,
+            best_candidate_score=best_candidate_score,
+            new_flows=0,
+        )
+
+    if fanout < len(best_positions):
+        if tie_break == "random":
+            chosen = rng.sample(best_positions, fanout)
+        else:
+            by_id = sorted(best_positions, key=lambda i: int(neighbor_ids[i]))
+            chosen = by_id[:fanout]
+    else:
+        chosen = best_positions
+
+    next_hops = tuple(int(neighbor_ids[i]) for i in chosen)
+    budgets = tuple(split_flow_budget(max_flows, given_flows, fanout))
+    return ForwardDecision(
+        is_local_max=is_local_max,
+        next_hops=next_hops,
+        budgets=budgets,
+        self_score=self_score,
+        best_candidate_score=best_candidate_score,
+        new_flows=flows_consumed(given_flows, fanout),
+    )
+
+
+def scores_for_node(
+    table, node: int, target
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Convenience: (neighbor_ids, neighbor_scores, self_score) for a node."""
+    return (
+        table.neighbor_array(node),
+        table.scores(node, target),
+        table.self_score(node, target),
+    )
+
+
+def best_neighbor_scores(
+    neighbor_scores: Sequence[int],
+) -> Optional[int]:
+    """Maximum of a (possibly empty) score sequence."""
+    values = list(neighbor_scores)
+    return max(values) if values else None

@@ -1,0 +1,259 @@
+"""Event-driven MPIL driver for perturbed (dynamic-availability) overlays.
+
+Reproduces the paper's Section 6.2 setting: MPIL running over a structured
+overlay's neighbor lists *without any maintenance*.  Messages take real
+(simulated) time per hop; a message sent toward a node that is offline at
+arrival is silently lost — MPIL has no per-hop ARQ; redundant flows are its
+defence.  Because availability changes while a request is in flight,
+duplicate copies processed later can take different routes, which is
+exactly why "MPIL without DS always gives higher success rates than MPIL
+with the duplicate suppression" under perturbation.
+
+Insertions for the perturbation experiments happen in stage 1 on the static
+overlay ("1000 insertion requests are generated to the static overlay"), so
+this driver reuses the synchronous :class:`~repro.core.network.MPILNetwork`
+logic for inserts and adds a timed ``lookup_at``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import Identifier, IdSpace
+from repro.core.messages import KIND_LOOKUP, MPILMessage
+from repro.core.network import MPILNetwork
+from repro.core.routing import decide_forwarding
+from repro.errors import RoutingError
+from repro.overlay.graph import OverlayGraph
+from repro.sim.availability import AlwaysOnline, AvailabilityModel
+from repro.sim.counters import TrafficCounters
+from repro.sim.engine import EventScheduler
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.rng import derive_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class TimedLookupResult:
+    """Outcome of one timed MPIL lookup."""
+
+    object_id: Identifier
+    origin: int
+    start_time: float
+    success: bool
+    first_reply_time: Optional[float]
+    first_reply_hop: Optional[int]
+    replies: tuple[tuple[int, int], ...]
+    counters: TrafficCounters
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.first_reply_time is None:
+            return None
+        return self.first_reply_time - self.start_time
+
+
+class TimedMPILNetwork:
+    """MPIL over an arbitrary overlay with per-node availability.
+
+    Parameters
+    ----------
+    overlay:
+        Overlay adjacency (may be directed, e.g. Pastry neighbor lists).
+    ids:
+        Node identifiers (shared with any co-simulated protocol).
+    config:
+        MPIL parameters; ``duplicate_suppression`` selects DS / no-DS mode.
+    availability:
+        Ground-truth availability model (e.g. a flapping schedule).
+    latency:
+        Per-hop one-way latency model.
+    """
+
+    def __init__(
+        self,
+        overlay: OverlayGraph,
+        space: IdSpace = IdSpace(),
+        ids: Optional[Sequence[Identifier]] = None,
+        config: MPILConfig = MPILConfig(),
+        availability: AvailabilityModel = AlwaysOnline(),
+        latency: LatencyModel = ConstantLatency(0.05),
+        seed: object = 0,
+    ):
+        self.static = MPILNetwork(
+            overlay, space=space, ids=ids, config=config, seed=seed
+        )
+        self.availability = availability
+        self.latency = latency
+        self.config = config
+        self.seed = seed
+        self._request_counter = 0
+
+    # Convenience passthroughs ------------------------------------------------
+
+    @property
+    def overlay(self) -> OverlayGraph:
+        return self.static.overlay
+
+    @property
+    def ids(self):
+        return self.static.ids
+
+    @property
+    def directory(self):
+        return self.static.directory
+
+    def random_object_id(self, rng) -> Identifier:
+        """Draw a fresh object identifier from the network's id space."""
+        return self.static.random_object_id(rng)
+
+    def insert_static(self, origin: int, object_id: Identifier, **kwargs):
+        """Stage-1 insertion on the static (fully online) overlay."""
+        return self.static.insert(origin, object_id, **kwargs)
+
+    # Timed lookup -------------------------------------------------------------
+
+    def lookup_at(
+        self,
+        origin: int,
+        object_id: Identifier,
+        start_time: float,
+        max_flows: Optional[int] = None,
+        per_flow_replicas: Optional[int] = None,
+        deadline: Optional[float] = None,
+        duplicate_suppression: Optional[bool] = None,
+    ) -> TimedLookupResult:
+        """Issue a lookup at simulation time ``start_time``.
+
+        The request runs to quiescence (all message copies delivered, lost,
+        or stopped) or until ``deadline``; replies are direct messages back
+        to the origin, which is assumed reachable (the experiment harness
+        exempts the querying client from flapping, matching the paper's
+        single always-querying node).  ``duplicate_suppression`` overrides
+        the network config for this call — the Figure 11 experiment runs
+        "MPIL with DS" and "MPIL without DS" against one shared insert
+        stage.
+        """
+        n = self.overlay.n
+        if not 0 <= origin < n:
+            raise RoutingError(f"origin {origin} out of range (n={n})")
+        cfg = self.config
+        suppress = (
+            cfg.duplicate_suppression
+            if duplicate_suppression is None
+            else duplicate_suppression
+        )
+        flows = max_flows if max_flows is not None else cfg.max_flows
+        replicas = (
+            per_flow_replicas if per_flow_replicas is not None else cfg.per_flow_replicas
+        )
+        request_id = self._request_counter
+        self._request_counter += 1
+        rng = derive_rng(self.seed, "timed-request", request_id)
+        engine = EventScheduler(start_time=start_time)
+        counters = TrafficCounters()
+        processed: set[int] = set()
+        received: set[int] = set()
+        replies: list[tuple[int, int]] = []
+        state = {
+            "first_reply_time": None,
+            "first_reply_hop": None,
+        }
+        metric_table = self.static.metric_table
+        directory = self.static.directory
+        max_hops = cfg.max_hops if cfg.max_hops is not None else 4 * len(
+            self.ids[0].digits
+        )
+
+        def deliver_reply(holder: int, hop: int) -> None:
+            arrival = engine.now + self.latency.latency(holder, origin)
+            counters.replies_sent += 1
+
+            def on_reply() -> None:
+                counters.replies_received += 1
+                replies.append((holder, hop))
+                if state["first_reply_time"] is None:
+                    state["first_reply_time"] = engine.now
+                    state["first_reply_hop"] = hop
+
+            engine.schedule_at(arrival, on_reply)
+
+        def send(msg: MPILMessage, sender: int) -> None:
+            counters.messages_sent += 1
+            arrival = engine.now + self.latency.latency(sender, msg.at)
+            engine.schedule_at(arrival, process, msg)
+
+        def process(msg: MPILMessage) -> None:
+            node = msg.at
+            if not self.availability.is_online(node, engine.now):
+                counters.lost_offline += 1
+                return
+            if node in received:
+                counters.duplicates += 1
+                if suppress:
+                    return
+            received.add(node)
+            if suppress and node in processed:
+                return
+            processed.add(node)
+
+            if directory.has(node, object_id):
+                deliver_reply(node, msg.hop)
+                return
+            if msg.hop >= max_hops:
+                counters.drops_hop_limit += 1
+                return
+
+            neighbor_ids = metric_table.neighbor_array(node)
+            neighbor_scores = metric_table.scores(node, object_id)
+            self_score = metric_table.self_score(node, object_id)
+            excluded = set(msg.route)
+            excluded.add(node)
+            decision = decide_forwarding(
+                self_score=self_score,
+                neighbor_ids=neighbor_ids,
+                neighbor_scores=neighbor_scores,
+                excluded=excluded,
+                max_flows=msg.max_flows,
+                given_flows=msg.given_flows,
+                rng=rng,
+                tie_break=cfg.tie_break,
+                local_max_rule=cfg.local_max_rule,
+            )
+            replicas_left = msg.replicas_left
+            if decision.is_local_max:
+                replicas_left -= 1
+                if replicas_left <= 0:
+                    return
+            for next_node, budget in zip(decision.next_hops, decision.budgets):
+                child = msg.child(next_node, budget)
+                child.replicas_left = replicas_left
+                send(child, node)
+
+        initial = MPILMessage(
+            kind=KIND_LOOKUP,
+            request_id=request_id,
+            object_id=object_id,
+            origin=origin,
+            owner=origin,
+            at=origin,
+            route=(),
+            max_flows=flows,
+            replicas_left=replicas,
+            hop=0,
+            given_flows=0,
+        )
+        engine.schedule_at(start_time, process, initial)
+        engine.run(until=deadline)
+
+        return TimedLookupResult(
+            object_id=object_id,
+            origin=origin,
+            start_time=start_time,
+            success=bool(replies),
+            first_reply_time=state["first_reply_time"],
+            first_reply_hop=state["first_reply_hop"],
+            replies=tuple(replies),
+            counters=counters,
+        )

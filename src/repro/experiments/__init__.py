@@ -1,0 +1,24 @@
+"""Experiment harness: one module per paper figure/table.
+
+Every experiment exposes ``run(scale="default", seed=0) -> ExperimentResult``
+and is registered in :mod:`repro.experiments.registry`.  Use the CLI::
+
+    mpil-experiments list
+    mpil-experiments run fig9 tab1 --scale default
+
+or the benchmarks under ``benchmarks/`` (one per figure/table).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import all_experiment_ids, get_experiment, run_experiment
+from repro.experiments.scales import SCALES, Scale, get_scale
+
+__all__ = [
+    "ExperimentResult",
+    "SCALES",
+    "Scale",
+    "all_experiment_ids",
+    "get_experiment",
+    "get_scale",
+    "run_experiment",
+]

@@ -1,0 +1,49 @@
+"""Shared experiment result type and helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+from repro.util.tables import render_table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """A regenerated figure/table: columns plus rows, ready to print."""
+
+    experiment_id: str
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    notes: str = ""
+    scale: str = "default"
+
+    def table(self, float_digits: int = 3) -> str:
+        header = f"{self.experiment_id}: {self.title} [scale={self.scale}]"
+        text = render_table(self.columns, self.rows, title=header, float_digits=float_digits)
+        if self.notes:
+            text += f"\nnotes: {self.notes}"
+        return text
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by name."""
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> list[tuple]:
+        """Rows matching all column=value criteria."""
+        indices = {name: self.columns.index(name) for name in criteria}
+        return [
+            row
+            for row in self.rows
+            if all(row[indices[name]] == value for name, value in criteria.items())
+        ]
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for empty input, to keep tables total)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,80 @@
+"""Command-line interface: ``mpil-experiments list|run ...``.
+
+Examples::
+
+    mpil-experiments list
+    mpil-experiments run fig9 --scale smoke
+    mpil-experiments run all --scale default --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.registry import all_experiment_ids, get_experiment, run_experiment
+from repro.experiments.scales import SCALES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mpil-experiments",
+        description="Regenerate the paper's figures and tables (MPIL, DSN 2005)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_parser = sub.add_parser("run", help="run one or more experiments")
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (or 'all')",
+    )
+    run_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="experiment scale preset",
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    run_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="directory to also write one .txt per experiment",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in all_experiment_ids():
+            title, _fn = get_experiment(experiment_id)
+            print(f"{experiment_id:18s} {title}")
+        return 0
+
+    requested = list(args.experiments)
+    if requested == ["all"]:
+        requested = all_experiment_ids()
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for experiment_id in requested:
+        started = time.perf_counter()
+        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - started
+        text = result.table()
+        print(text)
+        print(f"({experiment_id} completed in {elapsed:.1f}s)\n")
+        if args.out is not None:
+            path = args.out / f"{experiment_id}_{args.scale}.txt"
+            path.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Figure 1 — the effect of perturbation on MSPastry.
+
+Success rate of plain Pastry lookups versus flapping probability for
+idle:offline in {1:1, 45:15, 30:30, 300:300}.  Expected shape: 45:15 stays
+highest, 30:30 below it, 1:1 decays roughly linearly, and 300:300 collapses
+toward zero at high flapping probability.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.perturbed import build_testbed, run_cell
+from repro.experiments.scales import get_scale
+from repro.perturbation.scenario import PERIOD_CONFIGS
+
+EXPERIMENT_ID = "fig1"
+TITLE = "Effect of perturbation on MSPastry (success rate %)"
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    resolved = get_scale(scale)
+    testbed = build_testbed(
+        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+    )
+    rows = []
+    for period_label in PERIOD_CONFIGS["fig1"]:
+        for probability in resolved.flap_probabilities:
+            (cell,) = run_cell(
+                testbed,
+                period_label,
+                probability,
+                resolved.perturbed_lookups,
+                variants=("pastry",),
+                seed=seed,
+            )
+            rows.append(
+                (
+                    period_label,
+                    probability,
+                    round(cell.success_rate, 1),
+                    cell.misdeliveries,
+                    cell.drops,
+                )
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=("idle:offline", "flap_prob", "success_%", "misdeliveries", "drops"),
+        rows=rows,
+        notes=(
+            "paper shape: 45:15 > 30:30 > 1:1 (near-linear decay) > 300:300 "
+            "(~0 for p >= 0.8)"
+        ),
+        scale=resolved.name,
+    )

@@ -1,0 +1,44 @@
+"""Figure 8 — expected number of replicas for complete topologies.
+
+``N * sum_k A(k) D(k)^(N-1)`` for N = 2000..16000.
+
+Reproduction note: the paper's plotted values (1.55–1.63) match this
+formula evaluated in the *base-4* digit representation (b = 2, M = 80) of
+the 160-bit space — the representation Section 4.2's worked probabilities
+use — not the base-16 representation of the Pastry-matched configuration.
+We therefore report both digit bases; the base-4 series is the one to
+compare against the paper's plot.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import expected_replicas_complete
+from repro.core.identifiers import IdSpace
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scales import get_scale
+
+EXPERIMENT_ID = "fig8"
+TITLE = "Expected number of replicas (complete topologies)"
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:  # noqa: ARG001
+    resolved = get_scale(scale)
+    spaces = {
+        "base-4 (b=2)": IdSpace(bits=160, digit_bits=2),
+        "base-16 (b=4)": IdSpace(bits=160, digit_bits=4),
+    }
+    rows = []
+    for label, space in spaces.items():
+        for n in resolved.complete_node_counts:
+            rows.append((label, n, round(expected_replicas_complete(space, n), 4)))
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=("digit_base", "nodes", "expected_replicas"),
+        rows=rows,
+        notes=(
+            "paper plots 1.55-1.63 slowly increasing in N; the base-4 series "
+            "matches it (1.52-1.63)"
+        ),
+        scale=resolved.name,
+    )

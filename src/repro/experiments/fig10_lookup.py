@@ -1,0 +1,71 @@
+"""Figure 10 — MPIL lookup latency (hops) and traffic.
+
+Lookups with max_flows = 10 and per-flow replicas = 5 (the setting that
+achieves 100% success in Tables 1–2).  Reports the hop count of the first
+successful reply, the total traffic per lookup, and the traffic consumed up
+to the first reply.  Expected shape: both stay roughly flat as overlay size
+grows (bounded by the flow/replica budget, not by N).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, mean
+from repro.experiments.scales import get_scale
+from repro.experiments.workloads import run_inserts, run_lookups
+
+EXPERIMENT_ID = "fig10"
+TITLE = "MPIL lookup latency (hops) and lookup traffic"
+
+LOOKUP_MAX_FLOWS = 10
+LOOKUP_REPLICAS = 5
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    resolved = get_scale(scale)
+    rows = []
+    for family in ("power-law", "random"):
+        for n in resolved.static_node_counts:
+            hops: list[float] = []
+            traffic: list[float] = []
+            first_reply_traffic: list[float] = []
+            successes = 0
+            total = 0
+            for graph_index in range(resolved.static_graphs):
+                run_data = run_inserts(
+                    family, n, graph_index, resolved.static_ops, seed
+                )
+                for result in run_lookups(
+                    run_data, LOOKUP_MAX_FLOWS, LOOKUP_REPLICAS, seed
+                ):
+                    total += 1
+                    if result.success:
+                        successes += 1
+                        hops.append(result.first_reply_hop or 0)
+                        if result.traffic_at_first_reply is not None:
+                            first_reply_traffic.append(result.traffic_at_first_reply)
+                    traffic.append(result.traffic)
+            rows.append(
+                (
+                    family,
+                    n,
+                    round(mean(hops), 3),
+                    round(mean(traffic), 2),
+                    round(mean(first_reply_traffic), 2),
+                    round(100.0 * successes / total, 1) if total else 0.0,
+                )
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=(
+            "family",
+            "nodes",
+            "avg_first_reply_hops",
+            "avg_total_traffic",
+            "avg_traffic_at_first_reply",
+            "success_%",
+        ),
+        rows=rows,
+        notes="lookups with (10, 5); paper: latency and traffic flat in N",
+        scale=resolved.name,
+    )

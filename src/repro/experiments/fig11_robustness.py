@@ -1,0 +1,61 @@
+"""Figure 11 — success rate under perturbation for all four variants.
+
+Three panels (idle:offline = 1:1, 30:30, 300:300), each sweeping flapping
+probability for MSPastry, MSPastry with RR, MPIL with DS, and MPIL without
+DS.  Expected ordering: MPIL without DS >= MPIL with DS >= MSPastry with RR
+>= MSPastry, with plain MSPastry collapsing on 300:300.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.perturbed import ALL_VARIANTS, VARIANT_LABELS, build_testbed, run_cell
+from repro.experiments.scales import get_scale
+from repro.perturbation.scenario import PERIOD_CONFIGS
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Success rate under perturbation: MSPastry vs MPIL (DS / no DS)"
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    resolved = get_scale(scale)
+    testbed = build_testbed(
+        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+    )
+    rows = []
+    for period_label in PERIOD_CONFIGS["fig11"]:
+        for probability in resolved.flap_probabilities:
+            cells = run_cell(
+                testbed,
+                period_label,
+                probability,
+                resolved.perturbed_lookups,
+                variants=ALL_VARIANTS,
+                seed=seed,
+            )
+            by_variant = {cell.variant: cell for cell in cells}
+            rows.append(
+                (
+                    period_label,
+                    probability,
+                    *(
+                        round(by_variant[v].success_rate, 1)
+                        for v in ALL_VARIANTS
+                    ),
+                )
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=(
+            "idle:offline",
+            "flap_prob",
+            *(VARIANT_LABELS[v] for v in ALL_VARIANTS),
+        ),
+        rows=rows,
+        notes=(
+            "success rate %; paper ordering: MPIL w/o DS >= MPIL w/ DS >= "
+            "MSPastry+RR >= MSPastry"
+        ),
+        scale=resolved.name,
+    )

@@ -1,0 +1,65 @@
+"""Figure 12 — lookup traffic and total traffic under perturbation.
+
+idle:offline = 30:30.  Left panel: forwarded lookup messages (MPIL's
+multicast costs more than MSPastry's single path).  Right panel: total
+messages including MSPastry's maintenance probes (where MSPastry costs far
+more, since MPIL runs no maintenance at all).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.perturbed import VARIANT_LABELS, build_testbed, run_cell
+from repro.experiments.scales import get_scale
+
+EXPERIMENT_ID = "fig12"
+TITLE = "Lookup traffic and total traffic (incl. maintenance), idle:offline=30:30"
+
+PERIOD = "30:30"
+VARIANTS = ("pastry", "mpil-ds", "mpil-nods")
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    resolved = get_scale(scale)
+    testbed = build_testbed(
+        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+    )
+    rows = []
+    for probability in resolved.flap_probabilities:
+        cells = run_cell(
+            testbed,
+            PERIOD,
+            probability,
+            resolved.perturbed_lookups,
+            variants=VARIANTS,
+            seed=seed,
+        )
+        for cell in cells:
+            rows.append(
+                (
+                    VARIANT_LABELS[cell.variant],
+                    probability,
+                    cell.lookup_messages,
+                    cell.retransmissions,
+                    round(cell.maintenance_messages),
+                    round(cell.total_messages),
+                )
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=(
+            "variant",
+            "flap_prob",
+            "lookup_messages",
+            "retransmissions",
+            "maintenance_messages",
+            "total_messages",
+        ),
+        rows=rows,
+        notes=(
+            "paper shape: MPIL lookup traffic >> MSPastry lookup traffic, but "
+            "MSPastry total traffic (incl. maintenance probes) >> MPIL total"
+        ),
+        scale=resolved.name,
+    )

@@ -1,0 +1,248 @@
+"""Shared machinery for the perturbation experiments (fig1, fig11, fig12).
+
+Methodology (paper Sections 3 and 6.2): each simulation has two stages.
+Stage 1 inserts objects into the *static* overlay.  Stage 2 issues lookups
+for those objects, one per flapping cycle, while nodes flap.  The same
+client node generates all insertions and lookups; the harness exempts it
+from flapping so request generation itself never stalls.
+
+Four protocol variants share one testbed (same overlay, same IDs, same
+stage-1 state, same ground-truth schedules):
+
+- ``pastry``      — plain MSPastry-style routing with maintenance views;
+- ``pastry-rr``   — plus Replication on Route at insert time;
+- ``mpil-ds``     — MPIL over the Pastry neighbor lists, no maintenance,
+                    duplicate suppression on;
+- ``mpil-nods``   — same with duplicate suppression off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import Identifier, IdSpace
+from repro.core.timed import TimedMPILNetwork
+from repro.errors import ExperimentError
+from repro.overlay.transit_stub import TransitStubUnderlay
+from repro.pastry.config import PastryConfig
+from repro.pastry.mpil_on_pastry import make_mpil_over_pastry
+from repro.pastry.protocol import PastryNetwork
+from repro.pastry.rejoin import RejoinAdjustedAvailability
+from repro.pastry.views import ProbedViewOracle
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.sim.counters import TrafficCounters
+from repro.sim.latency import UnderlayLatency
+from repro.sim.rng import derive_rng
+
+#: MPIL parameters for the MSPastry-overlay experiments (paper Section 6.2)
+MPIL_MAX_FLOWS = 10
+MPIL_PER_FLOW_REPLICAS = 5
+
+PASTRY_VARIANTS = ("pastry", "pastry-rr")
+MPIL_VARIANTS = ("mpil-ds", "mpil-nods")
+ALL_VARIANTS = PASTRY_VARIANTS + MPIL_VARIANTS
+
+VARIANT_LABELS = {
+    "pastry": "MSPastry",
+    "pastry-rr": "MSPastry with RR",
+    "mpil-ds": "MPIL with DS",
+    "mpil-nods": "MPIL without DS",
+}
+
+
+@dataclasses.dataclass
+class PerturbationTestbed:
+    """Static stage-1 state shared by every (period, probability) cell."""
+
+    pastry: PastryNetwork
+    mpil: TimedMPILNetwork
+    client: int
+    objects_plain: list[Identifier]
+    objects_rr: list[Identifier]
+    objects_mpil: list[Identifier]
+    seed: object
+
+
+def build_testbed(
+    num_nodes: int,
+    num_inserts: int,
+    seed: object = 0,
+    pastry_config: PastryConfig = PastryConfig(),
+) -> PerturbationTestbed:
+    """Build the Pastry overlay on a transit-stub underlay and run stage 1."""
+    underlay = TransitStubUnderlay.for_size(num_nodes, seed=seed)
+    attachment = underlay.random_attachment(num_nodes, seed=seed)
+    latency = UnderlayLatency(underlay, attachment)
+    pastry = PastryNetwork(
+        n=num_nodes, config=pastry_config, latency=latency, seed=seed
+    )
+    client = 0
+    rng = derive_rng(seed, "perturbed-objects")
+
+    # Insertion requests enter the overlay at random nodes (the workload
+    # generator injects them network-wide, as in Section 6.1); all lookups
+    # are issued by the single measurement client.  If inserts and lookups
+    # shared one origin, every MPIL lookup would find a replica on its first
+    # hop (insert and lookup climb the same metric path), which contradicts
+    # the paper's observed lookup traffic of ~9 messages per lookup (Fig 12).
+    objects_plain = [pastry.space.random_identifier(rng) for _ in range(num_inserts)]
+    objects_rr = [pastry.space.random_identifier(rng) for _ in range(num_inserts)]
+    for key in objects_plain:
+        pastry.insert_static(rng.randrange(num_nodes), key, replicate_on_route=False)
+    for key in objects_rr:
+        pastry.insert_static(rng.randrange(num_nodes), key, replicate_on_route=True)
+
+    mpil_config = MPILConfig(
+        max_flows=MPIL_MAX_FLOWS,
+        per_flow_replicas=MPIL_PER_FLOW_REPLICAS,
+        duplicate_suppression=True,
+    )
+    mpil = make_mpil_over_pastry(pastry, config=mpil_config, seed=seed)
+    objects_mpil = [pastry.space.random_identifier(rng) for _ in range(num_inserts)]
+    for key in objects_mpil:
+        mpil.insert_static(rng.randrange(num_nodes), key)
+    return PerturbationTestbed(
+        pastry=pastry,
+        mpil=mpil,
+        client=client,
+        objects_plain=objects_plain,
+        objects_rr=objects_rr,
+        objects_mpil=objects_mpil,
+        seed=seed,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class CellResult:
+    """One variant's outcome for one (period, probability) cell."""
+
+    period_label: str
+    probability: float
+    variant: str
+    lookups: int
+    success_rate: float  # percent
+    lookup_messages: int
+    retransmissions: int
+    misdeliveries: int
+    drops: int
+    maintenance_messages: float
+    duration: float
+
+    @property
+    def total_messages(self) -> float:
+        return self.lookup_messages + self.retransmissions + self.maintenance_messages
+
+
+def run_cell(
+    testbed: PerturbationTestbed,
+    period_label: str,
+    probability: float,
+    num_lookups: int,
+    variants: Sequence[str] = ALL_VARIANTS,
+    seed: object = 0,
+) -> list[CellResult]:
+    """Run stage 2 for every requested variant under one flapping setting."""
+    unknown = set(variants) - set(ALL_VARIANTS)
+    if unknown:
+        raise ExperimentError(f"unknown variants {sorted(unknown)}")
+    flap_config = FlappingConfig.from_label(period_label, probability)
+    num_nodes = testbed.pastry.n
+    schedule = FlappingSchedule(
+        flap_config,
+        num_nodes,
+        seed=(testbed.seed, "flap", period_label, probability),
+        always_online={testbed.client},
+    )
+    # The Pastry layer sees availability through MSPastry's declared-failure
+    # eviction + rejoin semantics; MPIL (no maintenance) sees the raw
+    # schedule — a returning node simply answers again.
+    pastry_availability = RejoinAdjustedAvailability(
+        schedule,
+        testbed.pastry.config,
+        seed=(testbed.seed, "rejoin", period_label, probability),
+    )
+    oracle = ProbedViewOracle(
+        pastry_availability,
+        testbed.pastry.config,
+        seed=(testbed.seed, "views", period_label, probability),
+    )
+    cycle = flap_config.cycle
+    start = cycle  # every node has entered its flapping period (phases < cycle)
+    duration = num_lookups * cycle
+    results: list[CellResult] = []
+
+    for variant in variants:
+        if variant in PASTRY_VARIANTS:
+            objects = (
+                testbed.objects_plain if variant == "pastry" else testbed.objects_rr
+            )
+            counters = TrafficCounters()
+            successes = 0
+            misdeliveries = 0
+            drops = 0
+            for i in range(num_lookups):
+                key = objects[i % len(objects)]
+                outcome = testbed.pastry.lookup(
+                    testbed.client,
+                    key,
+                    start_time=start + i * cycle,
+                    availability=pastry_availability,
+                    views=oracle,
+                    counters=counters,
+                )
+                successes += int(outcome.success)
+                misdeliveries += int(outcome.misdelivered)
+                drops += int(outcome.dropped)
+            maintenance = oracle.expected_maintenance_messages(
+                duration,
+                testbed.pastry.average_leafset_size(),
+                testbed.pastry.average_table_entries(),
+            )
+            results.append(
+                CellResult(
+                    period_label=period_label,
+                    probability=probability,
+                    variant=variant,
+                    lookups=num_lookups,
+                    success_rate=100.0 * successes / num_lookups,
+                    lookup_messages=counters.messages_sent,
+                    retransmissions=counters.retransmissions,
+                    misdeliveries=misdeliveries,
+                    drops=drops,
+                    maintenance_messages=maintenance,
+                    duration=duration,
+                )
+            )
+        else:
+            suppress = variant == "mpil-ds"
+            testbed.mpil.availability = schedule
+            counters = TrafficCounters()
+            successes = 0
+            for i in range(num_lookups):
+                key = testbed.objects_mpil[i % len(testbed.objects_mpil)]
+                outcome = testbed.mpil.lookup_at(
+                    testbed.client,
+                    key,
+                    start_time=start + i * cycle,
+                    duplicate_suppression=suppress,
+                )
+                successes += int(outcome.success)
+                counters.merge(outcome.counters)
+            results.append(
+                CellResult(
+                    period_label=period_label,
+                    probability=probability,
+                    variant=variant,
+                    lookups=num_lookups,
+                    success_rate=100.0 * successes / num_lookups,
+                    lookup_messages=counters.messages_sent,
+                    retransmissions=0,
+                    misdeliveries=0,
+                    drops=counters.drops_hop_limit,
+                    maintenance_messages=0.0,  # MPIL runs no maintenance
+                    duration=duration,
+                )
+            )
+    return results

@@ -1,0 +1,84 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ablations,
+    baseline_comparison,
+    ext_churn,
+    fig01_pastry_perturbation,
+    fig07_local_maxima,
+    fig08_complete_replicas,
+    fig09_insertion,
+    fig10_lookup,
+    fig11_robustness,
+    fig12_traffic,
+    table3_flows,
+    tables12_success,
+)
+from repro.experiments.base import ExperimentResult
+
+RunFunction = Callable[..., ExperimentResult]
+
+_REGISTRY: dict[str, tuple[str, RunFunction]] = {
+    "fig1": (fig01_pastry_perturbation.TITLE, fig01_pastry_perturbation.run),
+    "fig7": (fig07_local_maxima.TITLE, fig07_local_maxima.run),
+    "fig8": (fig08_complete_replicas.TITLE, fig08_complete_replicas.run),
+    "fig9": (fig09_insertion.TITLE, fig09_insertion.run),
+    "fig10": (fig10_lookup.TITLE, fig10_lookup.run),
+    "fig11": (fig11_robustness.TITLE, fig11_robustness.run),
+    "fig12": (fig12_traffic.TITLE, fig12_traffic.run),
+    "tab1": (
+        "MPIL lookup success rate over power-law topologies",
+        tables12_success.run_table1,
+    ),
+    "tab2": (
+        "MPIL lookup success rate over random topologies",
+        tables12_success.run_table2,
+    ),
+    "tab3": (table3_flows.TITLE, table3_flows.run),
+    "ablation-metric": (
+        "Routing metric ablation (common-digits vs prefix vs suffix)",
+        ablations.run_metric_ablation,
+    ),
+    "ablation-ds": (
+        "Duplicate suppression ablation (static insertion)",
+        ablations.run_ds_ablation,
+    ),
+    "ablation-flows": (
+        "Lookup success vs max_flows budget",
+        ablations.run_flows_ablation,
+    ),
+    "ablation-tiebreak": (
+        "Tie-breaking policy ablation",
+        ablations.run_tiebreak_ablation,
+    ),
+    "baseline-comparison": (baseline_comparison.TITLE, baseline_comparison.run),
+    "ext-churn": (ext_churn.TITLE, ext_churn.run),
+}
+
+
+def all_experiment_ids() -> list[str]:
+    """Registered experiment ids, figures/tables first."""
+    return list(_REGISTRY)
+
+
+def get_experiment(experiment_id: str) -> tuple[str, RunFunction]:
+    """(title, run function) for an experiment id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; choose from {all_experiment_ids()}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, scale: str = "default", seed: object = 0
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    _title, fn = get_experiment(experiment_id)
+    return fn(scale=scale, seed=seed)

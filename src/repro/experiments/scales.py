@@ -1,0 +1,92 @@
+"""Experiment scale presets.
+
+``paper`` runs the published parameters (4000–16000-node static overlays,
+10 graphs per setting, 100 insert/lookup pairs each; 1000-node Pastry with
+1000 inserts + 1000 lookups).  ``default`` keeps every sweep dimension but
+shrinks sizes so the full benchmark suite finishes in minutes on a laptop;
+``smoke`` is for tests.  EXPERIMENTS.md records which scale produced each
+reported number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ExperimentError
+
+
+@dataclasses.dataclass(frozen=True)
+class Scale:
+    """All size knobs used by the experiment modules."""
+
+    name: str
+    # static-overlay experiments (fig9, fig10, tab1-3)
+    static_node_counts: tuple[int, ...]
+    static_graphs: int
+    static_ops: int  # insert/lookup pairs per graph
+    # analysis experiments (fig7, fig8)
+    analysis_node_counts: tuple[int, ...]
+    analysis_degrees: tuple[int, ...]
+    complete_node_counts: tuple[int, ...]
+    # perturbation experiments (fig1, fig11, fig12)
+    pastry_nodes: int
+    perturbed_inserts: int
+    perturbed_lookups: int
+    flap_probabilities: tuple[float, ...]
+
+
+_FULL_PROBS = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+SCALES: dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        static_node_counts=(200,),
+        static_graphs=1,
+        static_ops=10,
+        analysis_node_counts=(4000,),
+        analysis_degrees=(10, 40, 100),
+        complete_node_counts=(2000, 8000),
+        pastry_nodes=80,
+        perturbed_inserts=25,
+        perturbed_lookups=25,
+        flap_probabilities=(0.2, 0.6, 1.0),
+    ),
+    "default": Scale(
+        name="default",
+        static_node_counts=(1000, 2000, 4000),
+        static_graphs=2,
+        static_ops=30,
+        analysis_node_counts=(4000, 8000, 16000),
+        analysis_degrees=tuple(range(10, 101, 10)),
+        complete_node_counts=(2000, 4000, 6000, 8000, 10000, 12000, 14000, 16000),
+        pastry_nodes=400,
+        perturbed_inserts=120,
+        perturbed_lookups=120,
+        flap_probabilities=_FULL_PROBS,
+    ),
+    "paper": Scale(
+        name="paper",
+        static_node_counts=(4000, 8000, 16000),
+        static_graphs=10,
+        static_ops=100,
+        analysis_node_counts=(4000, 8000, 16000),
+        analysis_degrees=tuple(range(10, 101, 10)),
+        complete_node_counts=(2000, 4000, 6000, 8000, 10000, 12000, 14000, 16000),
+        pastry_nodes=1000,
+        perturbed_inserts=1000,
+        perturbed_lookups=1000,
+        flap_probabilities=_FULL_PROBS,
+    ),
+}
+
+
+def get_scale(scale: str | Scale) -> Scale:
+    """Resolve a scale by name (or pass a custom :class:`Scale` through)."""
+    if isinstance(scale, Scale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None

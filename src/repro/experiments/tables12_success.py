@@ -1,0 +1,68 @@
+"""Tables 1 and 2 — MPIL lookup success rate over power-law and random
+topologies.
+
+Grid: nodes x max_flows {5, 10, 15} x per-flow replicas {1..5}, success
+rate in percent.  Insertions are performed first with (30, 5).
+
+Expected shapes: success grows with per-flow replicas and with max_flows;
+power-law needs r >= 2 to approach 100% (r = 1 sits near 50-60%); random
+overlays are near-perfect already at r = 1 and saturate at r >= 2.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.scales import get_scale
+from repro.experiments.workloads import run_inserts, run_lookups
+
+LOOKUP_MAX_FLOWS = (5, 10, 15)
+LOOKUP_REPLICAS = (1, 2, 3, 4, 5)
+
+
+def _run_family(family: str, experiment_id: str, title: str, scale, seed) -> ExperimentResult:
+    resolved = get_scale(scale)
+    rows = []
+    for n in resolved.static_node_counts:
+        runs = [
+            run_inserts(family, n, graph_index, resolved.static_ops, seed)
+            for graph_index in range(resolved.static_graphs)
+        ]
+        for max_flows in LOOKUP_MAX_FLOWS:
+            per_r: list[float] = []
+            for replicas in LOOKUP_REPLICAS:
+                successes = 0
+                total = 0
+                for run_data in runs:
+                    for result in run_lookups(run_data, max_flows, replicas, seed):
+                        successes += int(result.success)
+                        total += 1
+                per_r.append(round(100.0 * successes / total, 1) if total else 0.0)
+            rows.append((n, max_flows, *per_r))
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        columns=("nodes", "max_flows", "r=1", "r=2", "r=3", "r=4", "r=5"),
+        rows=rows,
+        notes="success rate %; inserts with (30, 5); DS on",
+        scale=resolved.name,
+    )
+
+
+def run_table1(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    return _run_family(
+        "power-law",
+        "tab1",
+        "MPIL lookup success rate over power-law topologies",
+        scale,
+        seed,
+    )
+
+
+def run_table2(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    return _run_family(
+        "random",
+        "tab2",
+        "MPIL lookup success rate over random topologies",
+        scale,
+        seed,
+    )

@@ -1,0 +1,134 @@
+"""Static-overlay workloads shared by fig9/fig10 and Tables 1–3.
+
+Methodology (paper Section 6.1): "For each overlay, random nodes are chosen
+to insert objects with different IDs 100 times.  After that, those 100
+objects are queried one by one again by randomly chosen nodes."  Insertions
+use max_flows = 30 and per-flow replicas = 5; lookup parameters vary per
+table.  Duplicate suppression is on for all static runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import Identifier, IdSpace
+from repro.core.network import MPILNetwork
+from repro.core.results import InsertResult, LookupResult
+from repro.overlay.graph import OverlayGraph
+from repro.overlay.power_law import power_law_graph
+from repro.overlay.random_graphs import fixed_degree_random_graph
+from repro.sim.rng import derive_rng
+
+#: the paper's insertion parameters for all static experiments
+INSERT_MAX_FLOWS = 30
+INSERT_PER_FLOW_REPLICAS = 5
+
+def _random_family_degree(n: int) -> int:
+    """The paper uses degree 100; small (test-scale) overlays scale it down
+    to n/10 so the graph stays sparse relative to its size."""
+    return min(100, max(4, n // 10))
+
+
+#: overlay families evaluated in Section 6.1
+FAMILIES: dict[str, Callable[[int, object], OverlayGraph]] = {
+    "power-law": lambda n, seed: power_law_graph(n, seed=seed),
+    "random": lambda n, seed: fixed_degree_random_graph(
+        n, degree=_random_family_degree(n), seed=seed
+    ),
+}
+
+
+def make_overlay(family: str, n: int, graph_index: int, seed: object) -> OverlayGraph:
+    """One of the family's sample graphs (paper: 10 per setting)."""
+    return FAMILIES[family](n, (seed, family, n, graph_index))
+
+
+@dataclasses.dataclass
+class StaticRun:
+    """One overlay instance with its inserted objects and per-op results."""
+
+    family: str
+    n: int
+    graph_index: int
+    network: MPILNetwork
+    objects: list[Identifier]
+    insert_results: list[InsertResult]
+
+
+def run_inserts(
+    family: str,
+    n: int,
+    graph_index: int,
+    num_ops: int,
+    seed: object,
+    space: IdSpace = IdSpace(),
+    config: MPILConfig | None = None,
+) -> StaticRun:
+    """Generate an overlay and perform the insertion stage."""
+    overlay = make_overlay(family, n, graph_index, seed)
+    if config is None:
+        config = MPILConfig(
+            max_flows=INSERT_MAX_FLOWS,
+            per_flow_replicas=INSERT_PER_FLOW_REPLICAS,
+            duplicate_suppression=True,
+        )
+    network = MPILNetwork(
+        overlay, space=space, config=config, seed=(seed, family, n, graph_index)
+    )
+    rng = derive_rng(seed, "workload", family, n, graph_index)
+    objects: list[Identifier] = []
+    insert_results: list[InsertResult] = []
+    for _ in range(num_ops):
+        origin = rng.randrange(overlay.n)
+        object_id = network.random_object_id(rng)
+        objects.append(object_id)
+        insert_results.append(network.insert(origin, object_id))
+    return StaticRun(
+        family=family,
+        n=n,
+        graph_index=graph_index,
+        network=network,
+        objects=objects,
+        insert_results=insert_results,
+    )
+
+
+def run_lookups(
+    run: StaticRun,
+    max_flows: int,
+    per_flow_replicas: int,
+    seed: object,
+) -> list[LookupResult]:
+    """Query every inserted object once from a random node."""
+    rng = derive_rng(
+        seed, "lookups", run.family, run.n, run.graph_index, max_flows, per_flow_replicas
+    )
+    results = []
+    for object_id in run.objects:
+        origin = rng.randrange(run.network.overlay.n)
+        results.append(
+            run.network.lookup(
+                origin,
+                object_id,
+                max_flows=max_flows,
+                per_flow_replicas=per_flow_replicas,
+            )
+        )
+    return results
+
+
+def static_runs_for(
+    scale,
+    seed: object,
+    families: Sequence[str] = ("power-law", "random"),
+    space: IdSpace = IdSpace(),
+):
+    """Yield the insertion-stage runs for every (family, n, graph) cell."""
+    for family in families:
+        for n in scale.static_node_counts:
+            for graph_index in range(scale.static_graphs):
+                yield run_inserts(
+                    family, n, graph_index, scale.static_ops, seed, space=space
+                )

@@ -1,0 +1,22 @@
+"""Complete overlay topology (every node adjacent to every other).
+
+Used by the Section-5 analysis cross-checks: the expected number of
+replicas in a complete topology (Figure 8) is validated against MPIL runs
+on :func:`complete_graph` instances.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OverlayError
+from repro.overlay.graph import OverlayGraph
+
+
+def complete_graph(n: int) -> OverlayGraph:
+    """The complete graph K_n as an :class:`OverlayGraph`."""
+    if n < 1:
+        raise OverlayError(f"complete graph needs at least 1 node, got {n}")
+    adjacency = [
+        [v for v in range(n) if v != u]
+        for u in range(n)
+    ]
+    return OverlayGraph(adjacency, name=f"complete-{n}", validate=False)

@@ -1,0 +1,185 @@
+"""The overlay graph abstraction.
+
+``OverlayGraph`` is a frozen adjacency structure: node indices are dense
+integers ``0..n-1`` and each node's neighbor list is a sorted tuple.  MPIL
+treats the overlay as arbitrary and read-only, which is the point of the
+paper ("the overlay underneath can be arbitrary"), so immutability is the
+honest representation.
+
+Undirected graphs are validated for symmetry; directed graphs (used for the
+MPIL-over-Pastry adapter, where a Pastry node's outgoing neighbor list is
+its leaf set plus routing-table entries) skip that check.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import OverlayError
+
+
+class OverlayGraph:
+    """Immutable overlay adjacency structure."""
+
+    def __init__(
+        self,
+        adjacency: Sequence[Iterable[int]],
+        name: str = "overlay",
+        directed: bool = False,
+        validate: bool = True,
+    ):
+        self._adj: tuple[tuple[int, ...], ...] = tuple(
+            tuple(sorted(set(int(v) for v in neighbors))) for neighbors in adjacency
+        )
+        self.name = name
+        self.directed = directed
+        if validate:
+            self._validate()
+
+    def _validate(self) -> None:
+        n = self.n
+        for u, neighbors in enumerate(self._adj):
+            for v in neighbors:
+                if not 0 <= v < n:
+                    raise OverlayError(f"node {u} has out-of-range neighbor {v}")
+                if v == u:
+                    raise OverlayError(f"node {u} has a self-loop")
+        if not self.directed:
+            neighbor_sets = [set(ns) for ns in self._adj]
+            for u, neighbors in enumerate(self._adj):
+                for v in neighbors:
+                    if u not in neighbor_sets[v]:
+                        raise OverlayError(
+                            f"undirected overlay is asymmetric: {u}->{v} but not {v}->{u}"
+                        )
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], name: str = "overlay"
+    ) -> "OverlayGraph":
+        """Build an undirected overlay from an edge list."""
+        adjacency: list[set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            if u == v:
+                raise OverlayError(f"self-loop edge ({u}, {v})")
+            if not (0 <= u < n and 0 <= v < n):
+                raise OverlayError(f"edge ({u}, {v}) out of range for n={n}")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        return cls(adjacency, name=name)
+
+    @classmethod
+    def from_networkx(cls, graph, name: str = "overlay") -> "OverlayGraph":
+        """Convert a networkx graph whose nodes are 0..n-1."""
+        n = graph.number_of_nodes()
+        nodes = set(graph.nodes)
+        if nodes != set(range(n)):
+            raise OverlayError("networkx graph nodes must be exactly 0..n-1")
+        adjacency = [list(graph.neighbors(u)) for u in range(n)]
+        return cls(adjacency, name=name, directed=graph.is_directed())
+
+    def to_networkx(self):
+        """Export to networkx (imported lazily)."""
+        import networkx as nx
+
+        graph = nx.DiGraph() if self.directed else nx.Graph()
+        graph.add_nodes_from(range(self.n))
+        for u in range(self.n):
+            for v in self._adj[u]:
+                graph.add_edge(u, v)
+        return graph
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return len(self._adj)
+
+    def neighbors(self, node: int) -> tuple[int, ...]:
+        return self._adj[node]
+
+    def degree(self, node: int) -> int:
+        return len(self._adj[node])
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate edges; for undirected graphs each edge appears once."""
+        for u in range(self.n):
+            for v in self._adj[u]:
+                if self.directed or u < v:
+                    yield (u, v)
+
+    @property
+    def num_edges(self) -> int:
+        total = sum(len(ns) for ns in self._adj)
+        return total if self.directed else total // 2
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Map degree -> number of nodes with that degree."""
+        histogram: dict[int, int] = collections.Counter(
+            len(ns) for ns in self._adj
+        )
+        return dict(histogram)
+
+    def average_degree(self) -> float:
+        if self.n == 0:
+            return 0.0
+        return sum(len(ns) for ns in self._adj) / self.n
+
+    def is_connected(self) -> bool:
+        """BFS connectivity test (weak connectivity for directed graphs)."""
+        if self.n == 0:
+            return True
+        if self.directed:
+            undirected: list[set[int]] = [set() for _ in range(self.n)]
+            for u in range(self.n):
+                for v in self._adj[u]:
+                    undirected[u].add(v)
+                    undirected[v].add(u)
+            adj: Sequence[Iterable[int]] = undirected
+        else:
+            adj = self._adj
+        seen = {0}
+        frontier = collections.deque([0])
+        while frontier:
+            u = frontier.popleft()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == self.n
+
+    def components(self) -> list[list[int]]:
+        """Connected components (undirected view), largest first."""
+        seen: set[int] = set()
+        components: list[list[int]] = []
+        undirected: list[set[int]] = [set(ns) for ns in self._adj]
+        if self.directed:
+            for u in range(self.n):
+                for v in self._adj[u]:
+                    undirected[v].add(u)
+        for start in range(self.n):
+            if start in seen:
+                continue
+            component = [start]
+            seen.add(start)
+            frontier = collections.deque([start])
+            while frontier:
+                u = frontier.popleft()
+                for v in undirected[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        component.append(v)
+                        frontier.append(v)
+            components.append(component)
+        components.sort(key=len, reverse=True)
+        return components
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return (
+            f"OverlayGraph(name={self.name!r}, n={self.n}, "
+            f"edges={self.num_edges}, {kind})"
+        )

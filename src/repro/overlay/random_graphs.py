@@ -1,0 +1,97 @@
+"""Random overlay generators.
+
+The paper's "random graphs" give every node exactly 100 neighbors — i.e.
+random regular graphs ("In these random graphs, each node has 100
+neighbors, equally").  :func:`fixed_degree_random_graph` is the exported
+name for that family; :func:`random_regular_graph` is the underlying
+generator.  A G(n, p) generator and a ring lattice are included for tests
+and examples.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OverlayError
+from repro.overlay.graph import OverlayGraph
+from repro.sim.rng import derive_rng, derive_seed
+
+
+def random_regular_graph(
+    n: int, degree: int, seed: object = 0, max_attempts: int = 20
+) -> OverlayGraph:
+    """A connected random d-regular graph on ``n`` nodes.
+
+    Uses networkx's pairing-model generator and retries (with derived
+    seeds) until the sample is connected — disconnected samples are rare
+    for d >= 3 but possible.
+    """
+    import networkx as nx
+
+    if degree >= n:
+        raise OverlayError(f"degree {degree} must be < n ({n})")
+    if (n * degree) % 2 != 0:
+        raise OverlayError(f"n*degree must be even, got n={n}, degree={degree}")
+    for attempt in range(max_attempts):
+        nx_seed = derive_seed(seed, "random-regular", n, degree, attempt) % (2**32)
+        graph = nx.random_regular_graph(degree, n, seed=nx_seed)
+        overlay = OverlayGraph.from_networkx(
+            nx.convert_node_labels_to_integers(graph), name=f"random-regular-{degree}"
+        )
+        if overlay.is_connected():
+            return overlay
+    raise OverlayError(
+        f"failed to generate a connected {degree}-regular graph on {n} nodes "
+        f"after {max_attempts} attempts"
+    )
+
+
+def fixed_degree_random_graph(n: int, degree: int = 100, seed: object = 0) -> OverlayGraph:
+    """The paper's "random topology": every node has exactly ``degree``
+    neighbors chosen at random (default 100, the paper's setting)."""
+    overlay = random_regular_graph(n, degree, seed=seed)
+    return OverlayGraph(
+        [overlay.neighbors(u) for u in range(n)],
+        name=f"random-{degree}",
+        validate=False,
+    )
+
+
+def gnp_random_graph(n: int, p: float, seed: object = 0) -> OverlayGraph:
+    """Erdős–Rényi G(n, p) (not used by the paper; for tests/examples)."""
+    import networkx as nx
+
+    if not 0 <= p <= 1:
+        raise OverlayError(f"edge probability must be in [0, 1], got {p}")
+    nx_seed = derive_seed(seed, "gnp", n, p) % (2**32)
+    graph = nx.gnp_random_graph(n, p, seed=nx_seed)
+    return OverlayGraph.from_networkx(graph, name=f"gnp-{p}")
+
+
+def ring_lattice_graph(n: int, k: int = 1) -> OverlayGraph:
+    """Ring where each node connects to its ``k`` nearest neighbors on
+    each side.  Deterministic; handy for small worked examples."""
+    if n < 3:
+        raise OverlayError(f"ring needs at least 3 nodes, got {n}")
+    if not 1 <= k < n / 2:
+        raise OverlayError(f"k must be in [1, n/2), got k={k}, n={n}")
+    adjacency = [
+        [(u + offset) % n for offset in range(-k, k + 1) if offset != 0]
+        for u in range(n)
+    ]
+    return OverlayGraph(adjacency, name=f"ring-{k}")
+
+
+def connect_components(overlay: OverlayGraph, seed: object = 0) -> OverlayGraph:
+    """Return a connected copy by adding one random edge between each
+    smaller component and the giant component."""
+    components = overlay.components()
+    if len(components) <= 1:
+        return overlay
+    rng = derive_rng(seed, "connect-components", overlay.n)
+    adjacency = [set(overlay.neighbors(u)) for u in range(overlay.n)]
+    giant = components[0]
+    for component in components[1:]:
+        u = rng.choice(component)
+        v = rng.choice(giant)
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+    return OverlayGraph(adjacency, name=overlay.name)

@@ -1,0 +1,84 @@
+"""Pastry/MSPastry configuration.
+
+Defaults mirror the paper's "MSPastry Configuration" list verbatim:
+
+1. b : 4
+2. l : 8
+3. Leafset probing period : 30 seconds
+4. Routing table maintenance period : 12000 seconds
+5. Routing table probing period : 90 seconds
+6. Probe timeout : 3
+7. Probe retries : 2
+
+The application-level retransmission parameters model MSPastry's per-hop
+acknowledgment/retransmission for *routing* messages, which operates at
+network-RTT scale (unlike the 3-second probe timeout used by failure
+detection).  After ``app_retransmissions`` unacknowledged sends the hop is
+declared suspect and the message is re-routed around it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PastryConfig:
+    digit_bits: int = 4  # b
+    leaf_set_size: int = 8  # l (split half/half around the node)
+    leafset_probe_period: float = 30.0
+    routing_table_probe_period: float = 90.0
+    routing_table_maintenance_period: float = 12000.0
+    probe_timeout: float = 3.0
+    probe_retries: int = 2
+    # application-level per-hop retransmission (RTT-scale; short enough that
+    # retransmissions do not bridge second-scale offline windows)
+    app_retransmissions: int = 2
+    app_retx_interval: float = 0.10
+    max_route_hops: int = 64
+    # consecutive missed leafset probe rounds before a node is declared
+    # failed, evicted, and forced to rejoin on recovery
+    failure_eviction_rounds: int = 2
+
+    def __post_init__(self) -> None:
+        if self.digit_bits < 1:
+            raise ConfigurationError(f"digit_bits must be >= 1, got {self.digit_bits}")
+        if self.leaf_set_size < 2 or self.leaf_set_size % 2 != 0:
+            raise ConfigurationError(
+                f"leaf_set_size must be a positive even number, got {self.leaf_set_size}"
+            )
+        if self.probe_timeout <= 0:
+            raise ConfigurationError(
+                f"probe_timeout must be positive, got {self.probe_timeout}"
+            )
+        if self.probe_retries < 0:
+            raise ConfigurationError(
+                f"probe_retries must be >= 0, got {self.probe_retries}"
+            )
+        if min(
+            self.leafset_probe_period,
+            self.routing_table_probe_period,
+            self.routing_table_maintenance_period,
+        ) <= 0:
+            raise ConfigurationError("maintenance periods must be positive")
+        if self.app_retransmissions < 0:
+            raise ConfigurationError(
+                f"app_retransmissions must be >= 0, got {self.app_retransmissions}"
+            )
+        if self.app_retx_interval <= 0:
+            raise ConfigurationError(
+                f"app_retx_interval must be positive, got {self.app_retx_interval}"
+            )
+        if self.max_route_hops < 1:
+            raise ConfigurationError(
+                f"max_route_hops must be >= 1, got {self.max_route_hops}"
+            )
+        if self.failure_eviction_rounds < 1:
+            raise ConfigurationError(
+                f"failure_eviction_rounds must be >= 1, got {self.failure_eviction_rounds}"
+            )
+
+    def replace(self, **changes) -> "PastryConfig":
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,56 @@
+"""MPIL over the Pastry overlay (paper Section 6.2).
+
+"We run MPIL over the overlay of MSPastry by implementing the MPIL
+algorithm in MSPastry ... we use the structured overlay of MSPastry, but
+none of the overlay maintenance techniques."
+
+A Pastry node's neighbor list, from MPIL's point of view, is its leaf set
+plus its routing-table entries.  These links are directed (the union is
+not symmetric), which the MPIL drivers handle natively.  No views/oracle
+are involved: with maintenance disabled, neighbor lists never change, and
+a message forwarded toward an offline node is simply lost.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import MPILConfig
+from repro.core.timed import TimedMPILNetwork
+from repro.overlay.graph import OverlayGraph
+from repro.pastry.protocol import PastryNetwork
+from repro.sim.availability import AlwaysOnline, AvailabilityModel
+from repro.sim.latency import LatencyModel
+
+
+def pastry_neighbor_overlay(pastry: PastryNetwork) -> OverlayGraph:
+    """The directed overlay of Pastry neighbor lists (leaf set ∪ table)."""
+    adjacency = []
+    for node in range(pastry.n):
+        neighbors = set(pastry.leaf_sets[node])
+        neighbors.update(pastry.tables[node].values())
+        neighbors.discard(node)
+        adjacency.append(sorted(neighbors))
+    return OverlayGraph(adjacency, name="pastry-neighbors", directed=True)
+
+
+def make_mpil_over_pastry(
+    pastry: PastryNetwork,
+    config: MPILConfig = MPILConfig(),
+    availability: AvailabilityModel = AlwaysOnline(),
+    latency: LatencyModel | None = None,
+    seed: object = 0,
+) -> TimedMPILNetwork:
+    """A :class:`TimedMPILNetwork` sharing the Pastry overlay's node IDs.
+
+    The returned network has its own replica directory (MPIL replicas are
+    placed by MPIL insertion, not at Pastry roots).
+    """
+    overlay = pastry_neighbor_overlay(pastry)
+    return TimedMPILNetwork(
+        overlay,
+        space=pastry.space,
+        ids=pastry.ids,
+        config=config,
+        availability=availability,
+        latency=latency if latency is not None else pastry.latency,
+        seed=seed,
+    )

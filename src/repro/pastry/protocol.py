@@ -1,0 +1,284 @@
+"""Pastry insert/lookup protocol over static and perturbed overlays.
+
+Stage 1 of every perturbation experiment inserts objects on the *static*
+overlay ("1000 insertion requests are generated to the static overlay of
+MSPastry"): the insert routes to the key's root, which stores the object —
+or, in the "MSPastry with RR" (Replication on Route) variant, every node on
+the route stores a replica ("every node on the route of an insertion
+message stores a replica whether it's the target node or not").
+
+Stage 2 issues lookups while nodes flap.  A lookup is simulated hop by hop
+against ground-truth availability (the flapping schedule) and believed
+availability (the probed-view oracle): each forward is acknowledged; an
+unacknowledged send is retransmitted ``app_retransmissions`` times at RTT
+scale, after which the hop is marked suspect for the remainder of this
+lookup and the message re-routes around it.  The lookup succeeds iff the
+delivery node holds the object (and can therefore reply directly to the
+querying client).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Sequence
+
+from repro.core.identifiers import Identifier, IdSpace
+from repro.core.replicas import ReplicaDirectory
+from repro.errors import ConfigurationError, RoutingError
+from repro.pastry.config import PastryConfig
+from repro.pastry.routing import DELIVER, pastry_next_hop, static_route
+from repro.pastry.state import (
+    PastryRing,
+    build_leaf_sets,
+    build_routing_tables,
+    table_entry_count,
+)
+from repro.pastry.views import ProbedViewOracle
+from repro.sim.availability import AlwaysOnline, AvailabilityModel
+from repro.sim.counters import TrafficCounters
+from repro.sim.latency import ConstantLatency, LatencyModel
+from repro.sim.rng import derive_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class PastryInsertResult:
+    """Outcome of a static-stage insertion."""
+
+    key: Identifier
+    origin: int
+    root: int
+    path: tuple[int, ...]
+    replicas: tuple[int, ...]
+    messages: int
+
+
+@dataclasses.dataclass(frozen=True)
+class PastryLookupOutcome:
+    """Outcome of one perturbed lookup."""
+
+    key: Identifier
+    origin: int
+    start_time: float
+    success: bool
+    delivered_node: Optional[int]
+    root: int
+    hops: int
+    messages: int
+    retransmissions: int
+    misdelivered: bool
+    dropped: bool
+    elapsed: float
+
+
+class PastryNetwork:
+    """A Pastry overlay with ideal initial state (built fully online).
+
+    Parameters
+    ----------
+    n:
+        Number of nodes (ignored when ``ids`` is given).
+    space:
+        Identifier space; its ``digit_bits`` must match the config's ``b``.
+    ids:
+        Optional explicit node identifiers.
+    config:
+        :class:`PastryConfig`.
+    latency:
+        Latency model used both for proximity neighbor selection and for
+        timing perturbed lookups.
+    """
+
+    def __init__(
+        self,
+        n: Optional[int] = None,
+        space: IdSpace = IdSpace(),
+        ids: Optional[Sequence[Identifier]] = None,
+        config: PastryConfig = PastryConfig(),
+        latency: LatencyModel = ConstantLatency(0.05),
+        seed: object = 0,
+    ):
+        if space.digit_bits != config.digit_bits:
+            raise ConfigurationError(
+                f"id space digit_bits ({space.digit_bits}) must equal the Pastry "
+                f"b parameter ({config.digit_bits})"
+            )
+        if ids is None:
+            if n is None:
+                raise ConfigurationError("provide either n or explicit ids")
+            rng = derive_rng(seed, "pastry-node-ids", n)
+            ids = space.random_unique_identifiers(n, rng)
+        self.space = space
+        self.ids = tuple(ids)
+        self.config = config
+        self.latency = latency
+        self.seed = seed
+        self.ring = PastryRing(self.ids)
+        self.leaf_sets = build_leaf_sets(self.ring, config.leaf_set_size)
+        self.tables = build_routing_tables(self.ring, latency=latency, seed=seed)
+        self.directory = ReplicaDirectory()
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def root(self, key: Identifier) -> int:
+        return self.ring.root_of(key)
+
+    def average_table_entries(self) -> float:
+        return table_entry_count(self.tables)
+
+    def average_leafset_size(self) -> float:
+        if not self.leaf_sets:
+            return 0.0
+        return sum(len(ls) for ls in self.leaf_sets) / len(self.leaf_sets)
+
+    # -- static-stage operations ----------------------------------------------
+
+    def route_static(self, origin: int, key: Identifier) -> list[int]:
+        """The static route from ``origin`` to the delivery node."""
+        self._check_node(origin)
+        return static_route(
+            origin,
+            key,
+            self.ring,
+            self.leaf_sets,
+            self.tables,
+            max_hops=self.config.max_route_hops,
+        )
+
+    def insert_static(
+        self, origin: int, key: Identifier, replicate_on_route: bool = False
+    ) -> PastryInsertResult:
+        """Insert on the fully-online overlay (stage 1)."""
+        path = self.route_static(origin, key)
+        delivery = path[-1]
+        if replicate_on_route:
+            replicas = tuple(dict.fromkeys(path))
+        else:
+            replicas = (delivery,)
+        for node in replicas:
+            self.directory.store(node, key, owner=origin)
+        return PastryInsertResult(
+            key=key,
+            origin=origin,
+            root=delivery,
+            path=tuple(path),
+            replicas=replicas,
+            messages=max(0, len(path) - 1),
+        )
+
+    # -- perturbed lookup -------------------------------------------------------
+
+    def lookup(
+        self,
+        origin: int,
+        key: Identifier,
+        start_time: float = 0.0,
+        availability: AvailabilityModel = AlwaysOnline(),
+        views: Optional[ProbedViewOracle] = None,
+        counters: Optional[TrafficCounters] = None,
+    ) -> PastryLookupOutcome:
+        """Route a lookup issued at ``start_time`` under perturbation.
+
+        ``availability`` is ground truth; ``views`` supplies each hop's
+        beliefs (None = perfect knowledge of the static membership, i.e.
+        every node believed alive).
+        """
+        self._check_node(origin)
+        cfg = self.config
+        node = origin
+        time = float(start_time)
+        hops = 0
+        messages = 0
+        retransmissions = 0
+        learned_dead: set[int] = set()
+        root = self.ring.root_of(key)
+
+        while True:
+            if hops >= cfg.max_route_hops:
+                outcome = PastryLookupOutcome(
+                    key=key,
+                    origin=origin,
+                    start_time=start_time,
+                    success=False,
+                    delivered_node=None,
+                    root=root,
+                    hops=hops,
+                    messages=messages,
+                    retransmissions=retransmissions,
+                    misdelivered=False,
+                    dropped=True,
+                    elapsed=time - start_time,
+                )
+                break
+
+            current = node
+            now = time
+
+            def believes(candidate: int, kind: str) -> bool:
+                if candidate in learned_dead:
+                    return False
+                if views is None:
+                    return True
+                return views.believes_alive(current, candidate, now, kind)
+
+            decision = pastry_next_hop(
+                node,
+                key,
+                self.ring,
+                self.leaf_sets[node],
+                self.tables[node],
+                believes,
+            )
+            if decision.action == DELIVER:
+                has_object = self.directory.has(node, key)
+                if has_object:
+                    messages += 1  # direct reply to the querying client
+                outcome = PastryLookupOutcome(
+                    key=key,
+                    origin=origin,
+                    start_time=start_time,
+                    success=has_object,
+                    delivered_node=node,
+                    root=root,
+                    hops=hops,
+                    messages=messages,
+                    retransmissions=retransmissions,
+                    misdelivered=not has_object,
+                    dropped=False,
+                    elapsed=time - start_time,
+                )
+                break
+
+            next_node = decision.node
+            hop_latency = self.latency.latency(node, next_node)
+            delivered = False
+            for attempt in range(cfg.app_retransmissions + 1):
+                send_time = time + attempt * cfg.app_retx_interval
+                if attempt == 0:
+                    messages += 1
+                else:
+                    retransmissions += 1
+                arrival = send_time + hop_latency
+                if availability.is_online(next_node, arrival):
+                    node = next_node
+                    time = arrival
+                    hops += 1
+                    delivered = True
+                    break
+            if not delivered:
+                learned_dead.add(next_node)
+                time += (cfg.app_retransmissions + 1) * cfg.app_retx_interval
+
+        if counters is not None:
+            counters.messages_sent += messages
+            counters.retransmissions += retransmissions
+            if outcome.dropped:
+                counters.drops_hop_limit += 1
+            if outcome.success:
+                counters.replies_received += 1
+        return outcome
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n:
+            raise RoutingError(f"node index {node} out of range (n={self.n})")

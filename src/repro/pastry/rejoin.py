@@ -1,0 +1,132 @@
+"""Declared-failure eviction and rejoin (MSPastry recovery semantics).
+
+MSPastry declares a node failed once it misses consecutive probe rounds,
+removes it from routing state, and requires a *rejoin* when it recovers —
+the rejoin routes a join message through live contacts to rebuild leaf sets
+(Castro et al., DSN 2004).  Under flapping this matters only when the
+offline period exceeds the failure-detection horizon: a node that vanishes
+for several probe rounds is evicted, and on recovery it is effectively
+absent until its rejoin completes.  Rejoin attempts are retried each probe
+period and succeed only when the (hash-chosen) bootstrap contacts are all
+online — through a heavily perturbed network, rejoins thrash, which is what
+collapses the paper's 300:300 curve at high flapping probability while
+leaving 1:1 / 30:30 / 45:15 (whose offline windows are shorter than the
+detection horizon) untouched.
+
+``RejoinAdjustedAvailability`` wraps the ground-truth flapping schedule and
+is a drop-in :class:`~repro.sim.availability.AvailabilityModel` for the
+*Pastry-layer* protocol and its probed views.  MPIL-over-Pastry runs no
+maintenance, never declares failures, and therefore keeps using the raw
+schedule (a returning node simply answers again).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.pastry.config import PastryConfig
+from repro.perturbation.flapping import FlappingSchedule
+from repro.sim.rng import derive_rng
+
+
+class RejoinAdjustedAvailability:
+    """Flapping availability adjusted for eviction + rejoin delays."""
+
+    def __init__(
+        self,
+        schedule: FlappingSchedule,
+        config: PastryConfig = PastryConfig(),
+        seed: object = 0,
+        join_contacts: int = 3,
+        max_attempts: int = 64,
+        scan_cycles: int = 64,
+    ):
+        self.schedule = schedule
+        self.pastry_config = config
+        self.seed = seed
+        self.join_contacts = join_contacts
+        self.max_attempts = max_attempts
+        self.scan_cycles = scan_cycles
+        # Detection horizon: missing `failure_eviction_rounds` consecutive
+        # leafset probe rounds (plus the timeout tail) gets a node declared
+        # failed and evicted.
+        self.eviction_threshold = (
+            config.failure_eviction_rounds * config.leafset_probe_period
+            + (config.probe_retries + 1) * config.probe_timeout
+        )
+        flap = schedule.config
+        self._evictions_possible = (
+            flap.probability > 0 and flap.offline_period >= self.eviction_threshold
+        )
+        self._rejoin_cache: dict[tuple[int, int], float] = {}
+
+    # passthroughs so the probed-view oracle can wrap this object
+    @property
+    def num_nodes(self) -> int:
+        return self.schedule.num_nodes
+
+    @property
+    def config(self):
+        return self.schedule.config
+
+    def is_online(self, node: int, time: float) -> bool:
+        """Pastry-layer availability: genuinely online *and* joined."""
+        if not self.schedule.is_online(node, time):
+            return False
+        if not self._evictions_possible or node in self.schedule.always_online:
+            return True
+        episode = self._last_completed_offline_episode(node, time)
+        if episode is None:
+            return True
+        rejoin_time = self._rejoin_completion(node, episode)
+        return time >= rejoin_time
+
+    # -- internals -------------------------------------------------------------
+
+    def _last_completed_offline_episode(self, node: int, time: float):
+        """Index of the most recent cycle whose offline part the node took
+        and which ended at or before ``time`` (None if none in the scan
+        window)."""
+        flap = self.schedule.config
+        cycle = flap.cycle
+        phase = self.schedule.phase(node)
+        if time < phase:
+            return None
+        current = int(math.floor((time - phase) / cycle))
+        # An episode in cycle k ends at phase + (k+1)*cycle.  The latest
+        # cycle that can have *ended* by `time` is current - 1 (or current
+        # if we are exactly at/after its end, handled by the loop bound).
+        for k in range(current, max(-1, current - self.scan_cycles), -1):
+            episode_end = phase + (k + 1) * cycle
+            if episode_end > time:
+                continue
+            if self.schedule.goes_offline(node, k):
+                return k
+        return None
+
+    def _rejoin_completion(self, node: int, episode: int) -> float:
+        """Time at which the node's rejoin after the given offline episode
+        completes.  Attempts run every leafset probe period from recovery;
+        an attempt succeeds when all bootstrap contacts are online."""
+        key = (node, episode)
+        cached = self._rejoin_cache.get(key)
+        if cached is not None:
+            return cached
+        flap = self.schedule.config
+        recovery = self.schedule.phase(node) + (episode + 1) * flap.cycle
+        period = self.pastry_config.leafset_probe_period
+        n = self.schedule.num_nodes
+        completion = recovery + self.max_attempts * period  # pessimistic cap
+        for attempt in range(self.max_attempts):
+            at = recovery + attempt * period
+            rng = derive_rng(self.seed, "rejoin", node, episode, attempt)
+            contacts = []
+            while len(contacts) < min(self.join_contacts, n - 1):
+                candidate = rng.randrange(n)
+                if candidate != node and candidate not in contacts:
+                    contacts.append(candidate)
+            if all(self.schedule.is_online(c, at) for c in contacts):
+                completion = at
+                break
+        self._rejoin_cache[key] = completion
+        return completion

@@ -1,0 +1,142 @@
+"""The Pastry per-hop routing rule.
+
+Given a node's leaf set and routing table filtered through a liveness
+predicate, :func:`pastry_next_hop` decides whether the node delivers the
+message locally, forwards it, or (having no usable candidate) delivers to
+itself as the presumed root.  The three branches mirror the published
+algorithm:
+
+1. if the key lies within the span of the (believed-alive) leaf set, the
+   message goes to the numerically closest leaf (possibly the node itself);
+2. otherwise the routing-table cell for (shared-prefix-length, next digit
+   of the key) is used if populated and believed alive;
+3. otherwise the "rare case": any known node that shares at least as long
+   a prefix with the key and is numerically closer than the current node.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence
+
+from repro.core.identifiers import Identifier
+from repro.pastry.state import PastryRing
+
+DELIVER = "deliver"
+FORWARD = "forward"
+
+
+@dataclasses.dataclass(frozen=True)
+class HopDecision:
+    """Outcome of the routing rule at one node."""
+
+    action: str  # DELIVER or FORWARD
+    node: int  # delivery node or next hop
+    source: str  # "self" | "leafset" | "table" | "fallback"
+
+
+def pastry_next_hop(
+    node: int,
+    key: Identifier,
+    ring: PastryRing,
+    leaf_set: Sequence[int],
+    table: dict[tuple[int, int], int],
+    alive: Callable[[int, str], bool],
+) -> HopDecision:
+    """Apply the Pastry routing rule at ``node`` for ``key``.
+
+    ``alive(candidate, kind)`` reports whether this node currently believes
+    ``candidate`` (known via structure ``kind`` in {"leafset", "table"}) to
+    be responsive.
+    """
+    ids = ring.ids
+    node_value = ids[node].value
+    key_value = key.value
+
+    alive_leaves = [m for m in leaf_set if alive(m, "leafset")]
+
+    # 1. leaf-set range check
+    if alive_leaves:
+        offsets = [ring.signed_offset(node_value, ids[m].value) for m in alive_leaves]
+        lo = min(min(offsets), 0)
+        hi = max(max(offsets), 0)
+        key_offset = ring.signed_offset(node_value, key_value)
+        if lo <= key_offset <= hi:
+            best_node = node
+            best = (ring.circular_distance(node_value, key_value), node_value)
+            for m in alive_leaves:
+                rank = (
+                    ring.circular_distance(ids[m].value, key_value),
+                    ids[m].value,
+                )
+                if rank < best:
+                    best = rank
+                    best_node = m
+            if best_node == node:
+                return HopDecision(DELIVER, node, "self")
+            return HopDecision(FORWARD, best_node, "leafset")
+    elif not leaf_set:
+        # Singleton ring: the node is trivially the root.
+        return HopDecision(DELIVER, node, "self")
+
+    # 2. routing-table cell
+    shared = ids[node].prefix_match_len(key)
+    if shared < key.space.num_digits:
+        entry = table.get((shared, key.digit(shared)))
+        if entry is not None and alive(entry, "table"):
+            return HopDecision(FORWARD, entry, "table")
+
+    # 3. rare case: any known closer node with at least as long a prefix
+    own_distance = ring.circular_distance(node_value, key_value)
+    best_candidate: Optional[int] = None
+    best_rank: tuple[int, int, int] | None = None
+    seen: set[int] = set()
+    for kind, candidates in (("leafset", leaf_set), ("table", table.values())):
+        for candidate in candidates:
+            if candidate == node or candidate in seen:
+                continue
+            seen.add(candidate)
+            if not alive(candidate, kind):
+                continue
+            prefix = ids[candidate].prefix_match_len(key)
+            if prefix < shared:
+                continue
+            distance = ring.circular_distance(ids[candidate].value, key_value)
+            if distance >= own_distance:
+                continue
+            rank = (-prefix, distance, ids[candidate].value)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_candidate = candidate
+    if best_candidate is not None:
+        return HopDecision(FORWARD, best_candidate, "fallback")
+
+    # Nothing usable: this node believes it is the closest — deliver here.
+    return HopDecision(DELIVER, node, "self")
+
+
+def static_route(
+    origin: int,
+    key: Identifier,
+    ring: PastryRing,
+    leaf_sets: Sequence[Sequence[int]],
+    tables: Sequence[dict[tuple[int, int], int]],
+    max_hops: int = 128,
+) -> list[int]:
+    """Route on a fully-online overlay; returns the node path including the
+    origin and the delivery node."""
+
+    def always_alive(_candidate: int, _kind: str) -> bool:
+        return True
+
+    path = [origin]
+    node = origin
+    for _ in range(max_hops):
+        decision = pastry_next_hop(
+            node, key, ring, leaf_sets[node], tables[node], always_alive
+        )
+        if decision.action == DELIVER:
+            return path
+        node = decision.node
+        path.append(node)
+    return path  # hop cap reached; caller treats as anomalous

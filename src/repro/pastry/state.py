@@ -1,0 +1,140 @@
+"""Pastry ring state: sorted identifier ring, leaf sets, routing tables.
+
+Node identifiers live on a circular identifier space.  The *root* of a key
+is the node whose identifier is numerically closest on the ring (ties break
+toward the lower identifier, deterministically).  A node's leaf set holds
+the l/2 closest nodes clockwise and counter-clockwise; its routing table
+holds, per (prefix-length, next-digit) cell, one node whose identifier
+shares exactly that prefix with the owner — chosen by lowest latency when a
+latency model is available (Pastry's proximity neighbor selection),
+otherwise pseudo-randomly.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional, Sequence
+
+from repro.core.identifiers import Identifier
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_rng
+
+
+class PastryRing:
+    """Sorted ring over node identifiers with root/leaf-set queries."""
+
+    def __init__(self, ids: Sequence[Identifier]):
+        if not ids:
+            raise ConfigurationError("ring needs at least one node")
+        self.ids = tuple(ids)
+        self.space = ids[0].space
+        n = len(ids)
+        values = [identifier.value for identifier in ids]
+        if len(set(values)) != n:
+            raise ConfigurationError("node identifiers must be unique")
+        self.ring_order = sorted(range(n), key=lambda i: values[i])
+        self.position_of = {node: pos for pos, node in enumerate(self.ring_order)}
+        self.sorted_values = [values[node] for node in self.ring_order]
+
+    @property
+    def n(self) -> int:
+        return len(self.ids)
+
+    def circular_distance(self, a_value: int, b_value: int) -> int:
+        d = abs(a_value - b_value)
+        return min(d, self.space.size - d)
+
+    def root_of(self, key: Identifier) -> int:
+        """Node numerically closest to ``key`` on the ring."""
+        n = self.n
+        idx = bisect.bisect_left(self.sorted_values, key.value)
+        best_node: Optional[int] = None
+        best = (0, 0)
+        for candidate_pos in (idx % n, (idx - 1) % n):
+            node = self.ring_order[candidate_pos]
+            dist = self.circular_distance(self.ids[node].value, key.value)
+            rank = (dist, self.ids[node].value)
+            if best_node is None or rank < best:
+                best_node = node
+                best = rank
+        assert best_node is not None
+        return best_node
+
+    def leaf_set(self, node: int, size: int) -> tuple[int, ...]:
+        """The l/2 successors and l/2 predecessors of ``node`` on the ring.
+
+        For rings smaller than ``size + 1`` the leaf set is simply every
+        other node.
+        """
+        n = self.n
+        if n - 1 <= size:
+            return tuple(v for v in self.ring_order if v != node)
+        half = size // 2
+        pos = self.position_of[node]
+        members: list[int] = []
+        for offset in range(1, half + 1):
+            members.append(self.ring_order[(pos + offset) % n])
+        for offset in range(1, size - half + 1):
+            members.append(self.ring_order[(pos - offset) % n])
+        return tuple(dict.fromkeys(members))
+
+    def signed_offset(self, from_value: int, to_value: int) -> int:
+        """Ring offset of ``to`` relative to ``from`` mapped to
+        (-size/2, size/2]; positive = clockwise."""
+        size = self.space.size
+        offset = (to_value - from_value) % size
+        if offset > size // 2:
+            offset -= size
+        return offset
+
+
+def build_leaf_sets(ring: PastryRing, leaf_set_size: int) -> list[tuple[int, ...]]:
+    """Leaf sets for every node."""
+    return [ring.leaf_set(node, leaf_set_size) for node in range(ring.n)]
+
+
+def build_routing_tables(
+    ring: PastryRing,
+    latency=None,
+    seed: object = 0,
+) -> list[dict[tuple[int, int], int]]:
+    """Routing tables for every node.
+
+    Cell ``(r, c)`` of node ``i``'s table holds a node sharing exactly an
+    ``r``-digit prefix with ``i`` and whose digit ``r`` is ``c``.  Among the
+    candidates we keep the lowest-latency one when a latency model is given
+    (proximity neighbor selection); otherwise the scan order is shuffled
+    per node so the pick is pseudo-random but deterministic.
+    """
+    ids = ring.ids
+    n = ring.n
+    rng = derive_rng(seed, "pastry-tables", n)
+    base_order = list(range(n))
+    tables: list[dict[tuple[int, int], int]] = []
+    for i in range(n):
+        order = base_order
+        if latency is None:
+            order = base_order.copy()
+            rng.shuffle(order)
+        table: dict[tuple[int, int], int] = {}
+        id_i = ids[i]
+        for j in order:
+            if j == i:
+                continue
+            id_j = ids[j]
+            r = id_i.prefix_match_len(id_j)
+            cell = (r, id_j.digit(r))
+            current = table.get(cell)
+            if current is None:
+                table[cell] = j
+            elif latency is not None and latency.latency(i, j) < latency.latency(i, current):
+                table[cell] = j
+        tables.append(table)
+    return tables
+
+
+def table_entry_count(tables: list[dict[tuple[int, int], int]]) -> float:
+    """Average number of populated routing-table cells per node."""
+    if not tables:
+        return 0.0
+    return sum(len(t) for t in tables) / len(tables)

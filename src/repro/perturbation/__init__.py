@@ -1,0 +1,23 @@
+"""Perturbation (flapping) models.
+
+The paper models perturbation as periodic flapping: "A perturbed node
+periodically flaps between being offline and being idle (online).  At the
+beginning of each idle period, every node comes back online and stays
+online during the period.  At the beginning of the offline period, however,
+each node decides whether to go offline or to stay online based on the
+flapping probability.  Each node randomly picks its very first beginning of
+the flapping period."
+"""
+
+from repro.perturbation.churn import ChurnConfig, ChurnSchedule
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.perturbation.scenario import PERIOD_CONFIGS, PerturbationScenario
+
+__all__ = [
+    "ChurnConfig",
+    "ChurnSchedule",
+    "FlappingConfig",
+    "FlappingSchedule",
+    "PERIOD_CONFIGS",
+    "PerturbationScenario",
+]

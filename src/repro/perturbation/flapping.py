@@ -1,0 +1,168 @@
+"""The flapping availability schedule.
+
+Semantics (paper Section 3):
+
+- each node picks a random phase — "its very first beginning of the
+  flapping period (i.e. idle period + offline period)" — uniform in
+  ``[0, cycle)``; before its phase the node is online;
+- each cycle consists of an idle (online) part of ``idle_period`` seconds
+  followed by an offline part of ``offline_period`` seconds;
+- at the beginning of the offline part of each cycle, the node goes offline
+  with probability ``probability`` (a fresh Bernoulli draw per cycle),
+  otherwise it stays online through that cycle's offline part.
+
+The schedule is *deterministic given the seed*: per-cycle decisions are
+generated lazily from a per-node stream, so ``is_online(node, t)`` can be
+queried in any order and still agree with an event-driven replay.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_rng
+
+
+@dataclasses.dataclass(frozen=True)
+class FlappingConfig:
+    """Idle/offline periods (seconds) and the flapping probability."""
+
+    idle_period: float
+    offline_period: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.idle_period <= 0 or self.offline_period <= 0:
+            raise ConfigurationError(
+                f"idle and offline periods must be positive, got "
+                f"{self.idle_period}:{self.offline_period}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"flapping probability must be in [0, 1], got {self.probability}"
+            )
+
+    @property
+    def cycle(self) -> float:
+        """One flapping period: idle + offline."""
+        return self.idle_period + self.offline_period
+
+    @property
+    def label(self) -> str:
+        """The paper's idle:offline notation, e.g. ``"30:30"``."""
+
+        def fmt(x: float) -> str:
+            return str(int(x)) if float(x).is_integer() else str(x)
+
+        return f"{fmt(self.idle_period)}:{fmt(self.offline_period)}"
+
+    @classmethod
+    def from_label(cls, label: str, probability: float) -> "FlappingConfig":
+        """Parse the paper's ``"idle:offline"`` notation.
+
+        >>> FlappingConfig.from_label("45:15", 0.5).cycle
+        60.0
+        """
+        try:
+            idle_text, offline_text = label.split(":")
+            idle, offline = float(idle_text), float(offline_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"flapping label must look like '30:30', got {label!r}"
+            ) from None
+        return cls(idle_period=idle, offline_period=offline, probability=probability)
+
+    @property
+    def expected_offline_fraction(self) -> float:
+        """Long-run fraction of time a node spends offline."""
+        return self.probability * self.offline_period / self.cycle
+
+
+class FlappingSchedule:
+    """Deterministic per-node availability under the flapping model.
+
+    Parameters
+    ----------
+    config:
+        The flapping parameters.
+    num_nodes:
+        Number of nodes covered by the schedule.
+    seed:
+        Root seed; phases and per-cycle decisions derive from it.
+    always_online:
+        Node indices exempted from flapping (e.g. the querying client in the
+        paper's lookup experiments).
+    """
+
+    def __init__(
+        self,
+        config: FlappingConfig,
+        num_nodes: int,
+        seed: object = 0,
+        always_online: frozenset[int] | set[int] = frozenset(),
+    ):
+        if num_nodes < 1:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.config = config
+        self.num_nodes = num_nodes
+        self.seed = seed
+        self.always_online = frozenset(always_online)
+        phase_rng = derive_rng(seed, "flap-phases", num_nodes, config.label)
+        self._phases = [phase_rng.uniform(0.0, config.cycle) for _ in range(num_nodes)]
+        self._decision_rngs = [
+            derive_rng(seed, "flap-decisions", node, config.label)
+            for node in range(num_nodes)
+        ]
+        self._decisions: list[list[bool]] = [[] for _ in range(num_nodes)]
+
+    def phase(self, node: int) -> float:
+        """Time at which ``node`` first enters its flapping period."""
+        return self._phases[node]
+
+    def goes_offline(self, node: int, cycle_index: int) -> bool:
+        """The Bernoulli decision for a node's given cycle (lazily drawn)."""
+        if cycle_index < 0:
+            return False
+        decisions = self._decisions[node]
+        rng = self._decision_rngs[node]
+        p = self.config.probability
+        while len(decisions) <= cycle_index:
+            decisions.append(rng.random() < p)
+        return decisions[cycle_index]
+
+    def is_online(self, node: int, time: float) -> bool:
+        """Ground-truth availability of ``node`` at ``time``."""
+        if node in self.always_online:
+            return True
+        if self.config.probability == 0.0:
+            return True
+        offset = time - self._phases[node]
+        if offset < 0:
+            return True  # before the node's first flapping period
+        cycle = self.config.cycle
+        cycle_index = int(math.floor(offset / cycle))
+        position = offset - cycle_index * cycle
+        if position < self.config.idle_period:
+            return True
+        return not self.goes_offline(node, cycle_index)
+
+    def next_transition_after(self, node: int, time: float) -> float:
+        """The next time at which the node's online state *may* change
+        (cycle boundary or idle/offline boundary).  Diagnostics helper."""
+        offset = time - self._phases[node]
+        cycle = self.config.cycle
+        if offset < 0:
+            return self._phases[node]
+        cycle_index = int(math.floor(offset / cycle))
+        position = offset - cycle_index * cycle
+        base = self._phases[node] + cycle_index * cycle
+        if position < self.config.idle_period:
+            return base + self.config.idle_period
+        return base + cycle
+
+    def online_fraction(self, time: float) -> float:
+        """Fraction of nodes online at ``time`` (diagnostics)."""
+        online = sum(1 for node in range(self.num_nodes) if self.is_online(node, time))
+        return online / self.num_nodes

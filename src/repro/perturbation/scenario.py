@@ -1,0 +1,56 @@
+"""Named perturbation scenarios matching the paper's experiments.
+
+The paper sweeps flapping probability 0.1..1.0 for four idle:offline
+configurations in Figure 1 (1:1, 45:15, 30:30, 300:300) and three in
+Figures 11–12 (1:1, 30:30, 300:300).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+
+#: The idle:offline configurations used in the paper, by figure.
+PERIOD_CONFIGS: dict[str, tuple[str, ...]] = {
+    "fig1": ("1:1", "45:15", "30:30", "300:300"),
+    "fig11": ("1:1", "30:30", "300:300"),
+}
+
+#: The paper's flapping-probability sweep.
+FLAP_PROBABILITIES: tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+@dataclasses.dataclass(frozen=True)
+class PerturbationScenario:
+    """One cell of a perturbation sweep: a period label plus a probability."""
+
+    period_label: str
+    probability: float
+
+    def config(self) -> FlappingConfig:
+        return FlappingConfig.from_label(self.period_label, self.probability)
+
+    def schedule(
+        self,
+        num_nodes: int,
+        seed: object = 0,
+        always_online: frozenset[int] | set[int] = frozenset(),
+    ) -> FlappingSchedule:
+        return FlappingSchedule(
+            self.config(), num_nodes, seed=seed, always_online=always_online
+        )
+
+
+def scenarios_for(figure: str, probabilities=FLAP_PROBABILITIES):
+    """All (period, probability) scenarios for a figure's sweep."""
+    if figure not in PERIOD_CONFIGS:
+        raise ConfigurationError(
+            f"unknown figure {figure!r}; choose from {sorted(PERIOD_CONFIGS)}"
+        )
+    return [
+        PerturbationScenario(period_label=label, probability=p)
+        for label in PERIOD_CONFIGS[figure]
+        for p in probabilities
+    ]

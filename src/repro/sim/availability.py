@@ -1,0 +1,27 @@
+"""Node availability interfaces.
+
+An availability model answers one question: is node ``i`` online at time
+``t``?  The perturbation experiments plug in
+:class:`repro.perturbation.flapping.FlappingSchedule`; static experiments
+use :class:`AlwaysOnline`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class AvailabilityModel(Protocol):
+    """Protocol for availability oracles used by timed simulations."""
+
+    def is_online(self, node: int, time: float) -> bool:
+        """Return True when ``node`` is responsive at simulation time ``time``."""
+        ...  # pragma: no cover - protocol
+
+
+class AlwaysOnline:
+    """Trivial availability model: every node is always online."""
+
+    def is_online(self, node: int, time: float) -> bool:  # noqa: ARG002
+        return True

@@ -1,0 +1,91 @@
+"""Message latency models.
+
+The static MPIL experiments are message-level and hop-counted, so latency is
+irrelevant there.  The perturbation experiments (paper Sections 3 and 6.2)
+run over a GT-ITM-style transit-stub underlay; overlay hops inherit the
+underlay's shortest-path delay between the endpoints' attachment points.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import derive_rng
+
+
+@runtime_checkable
+class LatencyModel(Protocol):
+    """Protocol for pairwise one-way message latency in seconds."""
+
+    def latency(self, src: int, dst: int) -> float:
+        ...  # pragma: no cover - protocol
+
+
+class ConstantLatency:
+    """Every message takes exactly ``value`` seconds."""
+
+    def __init__(self, value: float = 0.05):
+        if value < 0:
+            raise ConfigurationError(f"latency must be non-negative, got {value}")
+        self.value = float(value)
+
+    def latency(self, src: int, dst: int) -> float:  # noqa: ARG002
+        return self.value
+
+
+class UniformRandomLatency:
+    """Latency drawn once per ordered pair, uniform in [lo, hi].
+
+    Pair latencies are symmetric and memoised, so repeated sends between the
+    same endpoints see a stable delay (as they would on a real path).
+    """
+
+    def __init__(self, lo: float, hi: float, seed: object = 0):
+        if not 0 <= lo <= hi:
+            raise ConfigurationError(f"invalid latency range [{lo}, {hi}]")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self._seed = seed
+        self._cache: dict[tuple[int, int], float] = {}
+
+    def latency(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        key = (min(src, dst), max(src, dst))
+        value = self._cache.get(key)
+        if value is None:
+            rng = derive_rng(self._seed, "latency", key)
+            value = rng.uniform(self.lo, self.hi)
+            self._cache[key] = value
+        return value
+
+
+class UnderlayLatency:
+    """Overlay latency derived from an underlay's all-pairs delays.
+
+    Parameters
+    ----------
+    underlay:
+        Object exposing ``pairwise_latency(u, v) -> float`` (see
+        :class:`repro.overlay.transit_stub.TransitStubUnderlay`).
+    attachment:
+        Sequence mapping overlay node index -> underlay node index.
+    """
+
+    def __init__(self, underlay, attachment: Sequence[int]):
+        self.underlay = underlay
+        self.attachment = tuple(int(a) for a in attachment)
+        n_under = underlay.num_nodes
+        for a in self.attachment:
+            if not 0 <= a < n_under:
+                raise ConfigurationError(
+                    f"attachment point {a} outside underlay of size {n_under}"
+                )
+
+    def latency(self, src: int, dst: int) -> float:
+        if src == dst:
+            return 0.0
+        return self.underlay.pairwise_latency(
+            self.attachment[src], self.attachment[dst]
+        )

@@ -1,0 +1,39 @@
+"""Deterministic named random streams.
+
+Every source of randomness in the library flows through :func:`derive_rng`,
+which maps a root seed plus a tuple of string/int labels to an independent
+``random.Random`` instance.  Two properties matter:
+
+- *determinism*: the same ``(seed, labels)`` always yields the same stream,
+  regardless of call order or what other streams were created;
+- *independence*: distinct label tuples yield streams that do not overlap in
+  practice (labels are hashed with BLAKE2b before seeding).
+
+This is what makes experiment tables byte-for-byte reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def derive_seed(seed: object, *labels: object) -> int:
+    """Derive a 64-bit integer seed from a root seed and a label path.
+
+    >>> derive_seed(0, "flap", 3) == derive_seed(0, "flap", 3)
+    True
+    >>> derive_seed(0, "flap", 3) != derive_seed(0, "flap", 4)
+    True
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    digest.update(repr(seed).encode("utf-8"))
+    for label in labels:
+        digest.update(b"/")
+        digest.update(repr(label).encode("utf-8"))
+    return int.from_bytes(digest.digest(), "big")
+
+
+def derive_rng(seed: object, *labels: object) -> random.Random:
+    """Return a ``random.Random`` seeded from ``derive_seed(seed, *labels)``."""
+    return random.Random(derive_seed(seed, *labels))

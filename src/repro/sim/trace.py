@@ -1,0 +1,56 @@
+"""Optional structured event tracing.
+
+Drivers accept an optional :class:`TraceRecorder`; when supplied, they emit
+one :class:`TraceRecord` per interesting event (send, receive, store, reply,
+drop...).  Tests use traces to assert on fine-grained protocol behaviour
+without instrumenting the drivers themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterator, Optional
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """A single traced event."""
+
+    time: float
+    kind: str
+    node: int
+    detail: dict[str, Any]
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in sorted(self.detail.items()))
+        return f"[t={self.time:.6g}] {self.kind} @node{self.node} ({parts})"
+
+
+class TraceRecorder:
+    """Append-only trace sink with simple filtering helpers."""
+
+    def __init__(self, max_records: Optional[int] = None):
+        self._records: list[TraceRecord] = []
+        self._max_records = max_records
+
+    def emit(self, time: float, kind: str, node: int, **detail: Any) -> None:
+        if self._max_records is not None and len(self._records) >= self._max_records:
+            return
+        self._records.append(TraceRecord(time=time, kind=kind, node=node, detail=detail))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All records with the given kind, in emission order."""
+        return [r for r in self._records if r.kind == kind]
+
+    def at_node(self, node: int) -> list[TraceRecord]:
+        """All records emitted at the given node, in emission order."""
+        return [r for r in self._records if r.node == node]
+
+    def clear(self) -> None:
+        self._records.clear()

@@ -1,0 +1,5 @@
+"""Small shared utilities (ASCII tables, formatting helpers)."""
+
+from repro.util.tables import format_float, render_table
+
+__all__ = ["format_float", "render_table"]

@@ -1,0 +1,71 @@
+"""Shared fixtures: identifier spaces, the Figure 6 worked example, and
+hypothesis settings tuned for a fast, deterministic suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import IdSpace
+from repro.core.network import MPILNetwork
+from repro.overlay.graph import OverlayGraph
+
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def tiny_space() -> IdSpace:
+    """The 4-bit binary space used by the paper's worked examples."""
+    return IdSpace(bits=4, digit_bits=1)
+
+
+@pytest.fixture(scope="session")
+def paper_space() -> IdSpace:
+    """The paper's 160-bit base-16 space (b=4, M=40)."""
+    return IdSpace(bits=160, digit_bits=4)
+
+
+FIG6_LABELS = [
+    "0001",
+    "1001",
+    "0000",
+    "1110",
+    "1111",
+    "0011",
+    "0101",
+    "0010",
+    "0100",
+]
+FIG6_EDGES = [
+    ("0001", "1001"),
+    ("0001", "0000"),
+    ("1001", "1110"),
+    ("1110", "1111"),
+    ("1110", "0011"),
+    ("0011", "0101"),
+    ("0101", "0010"),
+    ("0010", "0100"),
+]
+
+
+@pytest.fixture()
+def fig6_network(tiny_space):
+    """The Figure 6 overlay with max_flows=2, per-flow replicas=2.
+
+    Returns (network, index-by-label, labels).
+    """
+    ids = [tiny_space.from_digits([int(c) for c in s]) for s in FIG6_LABELS]
+    index = {label: i for i, label in enumerate(FIG6_LABELS)}
+    overlay = OverlayGraph.from_edges(
+        len(FIG6_LABELS), [(index[a], index[b]) for a, b in FIG6_EDGES], name="fig6"
+    )
+    config = MPILConfig(max_flows=2, per_flow_replicas=2, tie_break="lowest-id")
+    network = MPILNetwork(overlay, space=tiny_space, ids=ids, config=config, seed=6)
+    return network, index, FIG6_LABELS

@@ -1,0 +1,53 @@
+"""Tests for the mpil-experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig7"])
+        assert args.command == "run"
+        assert args.experiments == ["fig7"]
+        assert args.scale == "default"
+        assert args.seed == 0
+
+    def test_run_with_options(self, tmp_path):
+        args = build_parser().parse_args(
+            ["run", "fig7", "fig8", "--scale", "smoke", "--seed", "3", "--out", str(tmp_path)]
+        )
+        assert args.experiments == ["fig7", "fig8"]
+        assert args.scale == "smoke"
+        assert args.seed == 3
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig7", "--scale", "galactic"])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("fig1", "fig7", "tab1", "ablation-metric"):
+            assert experiment_id in output
+
+    def test_run_prints_table(self, capsys):
+        assert main(["run", "fig7", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "expected_local_maxima" in output
+        assert "completed in" in output
+
+    def test_run_writes_output_files(self, tmp_path, capsys):
+        assert main(["run", "fig8", "--scale", "smoke", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        written = tmp_path / "fig8_smoke.txt"
+        assert written.exists()
+        assert "expected_replicas" in written.read_text()

@@ -1,0 +1,107 @@
+"""Tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule(3.0, fired.append, "c")
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(2.0, fired.append, "b")
+        assert engine.run() == 3
+        assert fired == ["a", "b", "c"]
+        assert engine.now == 3.0
+
+    def test_ties_fire_in_insertion_order(self):
+        engine = EventScheduler()
+        fired = []
+        for label in "abc":
+            engine.schedule(1.0, fired.append, label)
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_at_absolute_time(self):
+        engine = EventScheduler(start_time=10.0)
+        fired = []
+        engine.schedule_at(12.5, fired.append, "x")
+        engine.run()
+        assert fired == ["x"]
+        assert engine.now == 12.5
+
+    def test_negative_delay_rejected(self):
+        engine = EventScheduler()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_scheduling_in_the_past_rejected(self):
+        engine = EventScheduler(start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(4.0, lambda: None)
+
+    def test_events_scheduled_during_run(self):
+        engine = EventScheduler()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                engine.schedule(1.0, chain, depth + 1)
+
+        engine.schedule(0.0, chain, 0)
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        engine = EventScheduler()
+        fired = []
+        event = engine.schedule(1.0, fired.append, "x")
+        engine.cancel(event)
+        assert engine.run() == 0
+        assert fired == []
+
+    def test_peek_skips_cancelled(self):
+        engine = EventScheduler()
+        first = engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.cancel(first)
+        assert engine.peek_time() == 2.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_and_advances_clock(self):
+        engine = EventScheduler()
+        fired = []
+        engine.schedule(1.0, fired.append, "a")
+        engine.schedule(5.0, fired.append, "b")
+        assert engine.run(until=3.0) == 1
+        assert fired == ["a"]
+        assert engine.now == 3.0  # clock advanced to `until`
+        assert engine.run() == 1
+        assert fired == ["a", "b"]
+
+    def test_max_events(self):
+        engine = EventScheduler()
+        for _ in range(5):
+            engine.schedule(1.0, lambda: None)
+        assert engine.run(max_events=3) == 3
+        assert engine.pending == 2
+
+    def test_processed_counter(self):
+        engine = EventScheduler()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(2.0, lambda: None)
+        engine.run()
+        assert engine.processed == 2
+
+    def test_step_on_empty_queue(self):
+        assert EventScheduler().step() is False

@@ -1,0 +1,109 @@
+"""Failure-injection tests: extreme availability patterns against both
+protocol stacks."""
+
+from __future__ import annotations
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import IdSpace
+from repro.core.timed import TimedMPILNetwork
+from repro.overlay.random_graphs import fixed_degree_random_graph
+from repro.pastry.protocol import PastryNetwork
+from repro.sim.rng import derive_rng
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+class Blackout:
+    """Everyone except an allowlist is offline."""
+
+    def __init__(self, allow=frozenset()):
+        self.allow = frozenset(allow)
+
+    def is_online(self, node, time):  # noqa: ARG002
+        return node in self.allow
+
+
+class HoldersDown:
+    def __init__(self, holders):
+        self.holders = frozenset(holders)
+
+    def is_online(self, node, time):  # noqa: ARG002
+        return node not in self.holders
+
+
+def _timed_network(seed=0, n=60):
+    overlay = fixed_degree_random_graph(n, degree=8, seed=seed)
+    net = TimedMPILNetwork(
+        overlay,
+        space=SPACE,
+        config=MPILConfig(max_flows=8, per_flow_replicas=4),
+        seed=seed,
+    )
+    rng = derive_rng(seed, "objects")
+    obj = net.random_object_id(rng)
+    net.insert_static(rng.randrange(n), obj)
+    return net, obj
+
+
+class TestMPILUnderTotalFailure:
+    def test_total_blackout_zero_success(self):
+        net, obj = _timed_network(seed=1)
+        net.availability = Blackout(allow={0})
+        result = net.lookup_at(0, obj, start_time=10.0)
+        assert not result.success
+        # every first-hop send was lost to an offline node
+        assert result.counters.lost_offline == result.counters.messages_sent
+        assert result.counters.messages_sent >= 1
+
+    def test_only_holders_down_blocks_all_replies(self):
+        net, obj = _timed_network(seed=2)
+        holders = net.directory.holders(obj)
+        net.availability = HoldersDown(holders)
+        result = net.lookup_at(0, obj, start_time=10.0)
+        assert not result.success
+        assert result.counters.lost_offline >= 1
+
+    def test_single_holder_alive_suffices(self):
+        net, obj = _timed_network(seed=3)
+        holders = sorted(net.directory.holders(obj))
+        if len(holders) < 2:
+            return  # nothing to selectively revive
+        down = frozenset(holders[1:])
+        net.availability = HoldersDown(down)
+        # many client positions; redundancy should find the lone survivor
+        successes = sum(
+            net.lookup_at(origin, obj, start_time=10.0).success
+            for origin in range(0, 40, 5)
+            if origin not in down
+        )
+        assert successes >= 1
+
+
+class TestPastryUnderTotalFailure:
+    def test_everyone_dead_but_client(self):
+        net = PastryNetwork(n=40, space=SPACE, seed=4)
+        rng = derive_rng(4, "keys")
+        key = SPACE.random_identifier(rng)
+        net.insert_static(0, key)
+        outcome = net.lookup(1, key, availability=Blackout(allow={1}))
+        assert not outcome.success
+        # the client retransmitted, learned its candidates dead, and either
+        # misdelivered to itself or dropped
+        assert outcome.retransmissions > 0
+        assert outcome.misdelivered or outcome.dropped
+
+    def test_root_neighborhood_down_misdelivers(self):
+        net = PastryNetwork(n=40, space=SPACE, seed=5)
+        rng = derive_rng(5, "keys")
+        key = SPACE.random_identifier(rng)
+        net.insert_static(0, key)
+        root = net.root(key)
+        down = {root} | set(net.leaf_sets[root])
+
+        class NeighborhoodDown:
+            def is_online(self, node, time):  # noqa: ARG002
+                return node not in down
+
+        origin = next(v for v in range(40) if v not in down)
+        outcome = net.lookup(origin, key, availability=NeighborhoodDown())
+        assert not outcome.success

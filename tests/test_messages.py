@@ -1,0 +1,84 @@
+"""Tests for MPIL message types."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.identifiers import IdSpace
+from repro.core.messages import KIND_INSERT, KIND_LOOKUP, LookupReply, MPILMessage
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+def _message(**overrides):
+    defaults = dict(
+        kind=KIND_INSERT,
+        request_id=7,
+        object_id=SPACE.identifier(0xABCD),
+        origin=3,
+        owner=3,
+        at=3,
+        route=(),
+        max_flows=10,
+        replicas_left=5,
+        hop=0,
+        given_flows=0,
+    )
+    defaults.update(overrides)
+    return MPILMessage(**defaults)
+
+
+class TestChild:
+    def test_child_extends_route_with_current_node(self):
+        parent = _message(at=3, route=(1, 2))
+        child = parent.child(next_node=9, budget=4)
+        assert child.route == (1, 2, 3)
+        assert child.at == 9
+
+    def test_child_increments_hop_and_sets_given_flows(self):
+        parent = _message(hop=2, given_flows=0)
+        child = parent.child(5, 1)
+        assert child.hop == 3
+        assert child.given_flows == 1
+
+    def test_child_carries_budget_and_request_identity(self):
+        parent = _message()
+        child = parent.child(5, 2)
+        assert child.max_flows == 2
+        assert child.request_id == parent.request_id
+        assert child.object_id == parent.object_id
+        assert child.origin == parent.origin
+        assert child.owner == parent.owner
+        assert child.kind == parent.kind
+
+    def test_route_grows_monotonically_over_generations(self):
+        """Each hop appends exactly the forwarding node — this is what
+        guarantees per-flow route simplicity (no revisits within a flow)."""
+        msg = _message(at=0)
+        visited = [0]
+        for next_node in (4, 2, 8):
+            msg = msg.child(next_node, msg.max_flows)
+            assert msg.route == tuple(visited)
+            assert len(set(msg.route)) == len(msg.route)
+            visited.append(next_node)
+
+    def test_replicas_left_copied_not_shared(self):
+        parent = _message(replicas_left=3)
+        child = parent.child(5, 1)
+        child.replicas_left = 1
+        assert parent.replicas_left == 3
+
+
+class TestLookupReply:
+    def test_frozen(self):
+        reply = LookupReply(
+            request_id=1, object_id=SPACE.identifier(1), holder=2, owner=3, hop=4
+        )
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            reply.holder = 9
+
+    def test_kinds(self):
+        assert KIND_INSERT == "insert"
+        assert KIND_LOOKUP == "lookup"

@@ -1,0 +1,79 @@
+"""Tests for the Monte-Carlo analysis helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis import expected_local_maxima_regular
+from repro.analysis.montecarlo import (
+    count_local_maxima_for_ids,
+    mean_local_maxima,
+    sample_local_maxima_count,
+)
+from repro.core.identifiers import IdSpace
+from repro.core.metric import NeighborMetricTable
+from repro.errors import ConfigurationError
+from repro.overlay.complete import complete_graph
+from repro.overlay.random_graphs import random_regular_graph
+
+SMALL = IdSpace(bits=12, digit_bits=2)
+
+
+class TestSampling:
+    def test_sample_count_in_range(self):
+        overlay = random_regular_graph(100, 4, seed=0)
+        count = sample_local_maxima_count(overlay, SMALL, random.Random(0))
+        assert 0 <= count <= 100
+
+    def test_mean_matches_closed_form(self):
+        overlay = random_regular_graph(300, 6, seed=1)
+        empirical = mean_local_maxima(overlay, SMALL, trials=60, seed=1)
+        predicted = expected_local_maxima_regular(SMALL, 300, 6)
+        assert empirical == pytest.approx(predicted, rel=0.2)
+
+    def test_strict_leq_nonstrict(self):
+        overlay = random_regular_graph(150, 4, seed=2)
+        strict = mean_local_maxima(overlay, SMALL, trials=30, seed=2, strict=True)
+        loose = mean_local_maxima(overlay, SMALL, trials=30, seed=2, strict=False)
+        assert strict <= loose
+
+    def test_trials_validated(self):
+        overlay = random_regular_graph(20, 4, seed=3)
+        with pytest.raises(ConfigurationError):
+            mean_local_maxima(overlay, SMALL, trials=0)
+
+
+class TestFixedIdCount:
+    def test_complete_graph_counts_top_scorers(self):
+        overlay = complete_graph(30)
+        rng = random.Random(4)
+        ids = [SMALL.random_identifier(rng) for _ in range(30)]
+        table = NeighborMetricTable(overlay, ids)
+        message = SMALL.random_identifier(rng)
+        count = count_local_maxima_for_ids(overlay, table, message, strict=False)
+        scores = [ids[v].common_digits(message) for v in range(30)]
+        top = max(scores)
+        assert count == sum(1 for s in scores if s == top)
+
+    def test_matches_insertion_coverage(self):
+        """Every replica an MPIL insert stores must sit at a (non-strict)
+        local maximum, so the maxima count upper-bounds replica count."""
+        from repro.core.config import MPILConfig
+        from repro.core.network import MPILNetwork
+
+        overlay = random_regular_graph(120, 6, seed=5)
+        net = MPILNetwork(
+            overlay,
+            space=SMALL,
+            config=MPILConfig(max_flows=30, per_flow_replicas=5),
+            seed=5,
+        )
+        rng = random.Random(5)
+        obj = net.random_object_id(rng)
+        insert = net.insert(0, obj)
+        maxima = count_local_maxima_for_ids(
+            overlay, net.metric_table, obj, strict=False
+        )
+        assert insert.replica_count <= maxima

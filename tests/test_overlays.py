@@ -1,0 +1,151 @@
+"""Tests for the overlay graph abstraction and generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OverlayError
+from repro.overlay.complete import complete_graph
+from repro.overlay.graph import OverlayGraph
+from repro.overlay.power_law import (
+    estimated_exponent,
+    power_law_graph,
+    sample_power_law_degrees,
+)
+from repro.overlay.random_graphs import (
+    connect_components,
+    fixed_degree_random_graph,
+    gnp_random_graph,
+    random_regular_graph,
+    ring_lattice_graph,
+)
+
+
+class TestOverlayGraph:
+    def test_from_edges_symmetric(self):
+        g = OverlayGraph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        assert g.neighbors(1) == (0, 2)
+        assert g.degree(0) == 1
+        assert g.num_edges == 3
+        assert g.is_connected()
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(OverlayError):
+            OverlayGraph.from_edges(3, [(0, 0)])
+        with pytest.raises(OverlayError):
+            OverlayGraph([[0], [0]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(OverlayError):
+            OverlayGraph.from_edges(3, [(0, 3)])
+
+    def test_asymmetry_rejected_for_undirected(self):
+        with pytest.raises(OverlayError):
+            OverlayGraph([[1], []])
+
+    def test_directed_allows_asymmetry(self):
+        g = OverlayGraph([[1], []], directed=True)
+        assert g.neighbors(0) == (1,)
+        assert g.neighbors(1) == ()
+        assert g.is_connected()  # weakly connected
+
+    def test_components(self):
+        g = OverlayGraph.from_edges(5, [(0, 1), (2, 3)])
+        comps = g.components()
+        assert sorted(len(c) for c in comps) == [1, 2, 2]
+        assert not g.is_connected()
+
+    def test_degree_histogram_and_average(self):
+        g = ring_lattice_graph(10, k=1)
+        assert g.degree_histogram() == {2: 10}
+        assert g.average_degree() == 2.0
+
+    def test_networkx_round_trip(self):
+        g = ring_lattice_graph(8, k=2)
+        back = OverlayGraph.from_networkx(g.to_networkx())
+        assert [back.neighbors(i) for i in range(8)] == [g.neighbors(i) for i in range(8)]
+
+    def test_edges_listed_once(self):
+        g = ring_lattice_graph(6, k=1)
+        edges = list(g.edges())
+        assert len(edges) == 6
+        assert len(set(edges)) == 6
+
+
+class TestGenerators:
+    def test_complete_graph(self):
+        g = complete_graph(7)
+        assert all(g.degree(i) == 6 for i in range(7))
+        with pytest.raises(OverlayError):
+            complete_graph(0)
+
+    def test_random_regular_degrees_and_connectivity(self):
+        g = random_regular_graph(40, 6, seed=1)
+        assert all(g.degree(i) == 6 for i in range(40))
+        assert g.is_connected()
+
+    def test_random_regular_parity_validation(self):
+        with pytest.raises(OverlayError):
+            random_regular_graph(7, 3, seed=0)
+        with pytest.raises(OverlayError):
+            random_regular_graph(5, 5, seed=0)
+
+    def test_fixed_degree_random_is_regular(self):
+        g = fixed_degree_random_graph(30, degree=4, seed=2)
+        assert all(g.degree(i) == 4 for i in range(30))
+
+    def test_gnp(self):
+        g = gnp_random_graph(30, 0.2, seed=3)
+        assert g.n == 30
+        with pytest.raises(OverlayError):
+            gnp_random_graph(10, 1.5)
+
+    def test_ring_lattice_validation(self):
+        with pytest.raises(OverlayError):
+            ring_lattice_graph(2, k=1)
+        with pytest.raises(OverlayError):
+            ring_lattice_graph(10, k=5)
+
+    def test_connect_components(self):
+        g = OverlayGraph.from_edges(6, [(0, 1), (2, 3), (4, 5)])
+        connected = connect_components(g, seed=1)
+        assert connected.is_connected()
+        # existing edges preserved
+        assert 1 in connected.neighbors(0)
+
+
+class TestPowerLaw:
+    def test_minimum_degree_respected(self):
+        g = power_law_graph(300, min_degree=2, seed=4)
+        assert min(g.degree(i) for i in range(300)) >= 2
+
+    def test_connected(self):
+        g = power_law_graph(300, seed=5)
+        assert g.is_connected()
+
+    def test_heavy_tail(self):
+        g = power_law_graph(800, seed=6)
+        degrees = sorted((g.degree(i) for i in range(800)), reverse=True)
+        # hubs exist: the top node has far more neighbors than the median
+        assert degrees[0] >= 8 * degrees[len(degrees) // 2]
+        exponent = estimated_exponent(g)
+        assert 1.5 < exponent < 3.5
+
+    def test_degree_sequence_sampler(self):
+        degrees = sample_power_law_degrees(500, 2.2, 2, 60, seed=7)
+        assert len(degrees) == 500
+        assert sum(degrees) % 2 == 0
+        assert min(degrees) >= 2
+        assert max(degrees) <= 61  # +1 allowed by the parity bump
+
+    def test_sampler_validation(self):
+        with pytest.raises(OverlayError):
+            sample_power_law_degrees(10, 0.9, 2, 10, seed=0)
+        with pytest.raises(OverlayError):
+            sample_power_law_degrees(10, 2.2, 0, 10, seed=0)
+        with pytest.raises(OverlayError):
+            sample_power_law_degrees(10, 2.2, 5, 4, seed=0)
+
+    def test_small_n_rejected(self):
+        with pytest.raises(OverlayError):
+            power_law_graph(3)

@@ -1,0 +1,121 @@
+"""Tests for the Pastry per-hop routing rule and static routing."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.identifiers import IdSpace
+from repro.pastry.routing import DELIVER, pastry_next_hop, static_route
+from repro.pastry.state import PastryRing, build_leaf_sets, build_routing_tables
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+def _network(n, seed=0, leaf_size=8):
+    rng = random.Random(seed)
+    ids = SPACE.random_unique_identifiers(n, rng)
+    ring = PastryRing(ids)
+    leaf_sets = build_leaf_sets(ring, leaf_size)
+    tables = build_routing_tables(ring, seed=seed)
+    return ring, leaf_sets, tables
+
+
+def _always_alive(_candidate, _kind):
+    return True
+
+
+class TestStaticRouting:
+    def test_every_key_reaches_its_root(self):
+        ring, leaf_sets, tables = _network(60, seed=1)
+        rng = random.Random(2)
+        for _ in range(80):
+            key = SPACE.random_identifier(rng)
+            origin = rng.randrange(60)
+            path = static_route(origin, key, ring, leaf_sets, tables)
+            assert path[-1] == ring.root_of(key)
+
+    def test_routing_makes_progress_log_hops(self):
+        ring, leaf_sets, tables = _network(100, seed=3)
+        rng = random.Random(4)
+        lengths = []
+        for _ in range(50):
+            key = SPACE.random_identifier(rng)
+            path = static_route(rng.randrange(100), key, ring, leaf_sets, tables)
+            lengths.append(len(path) - 1)
+        # 100 nodes, base-16 digits: expect ~log16(100) ≈ 1.7 hops on average
+        assert sum(lengths) / len(lengths) < 6
+
+    def test_lookup_from_root_delivers_locally(self):
+        ring, leaf_sets, tables = _network(40, seed=5)
+        rng = random.Random(6)
+        key = SPACE.random_identifier(rng)
+        root = ring.root_of(key)
+        path = static_route(root, key, ring, leaf_sets, tables)
+        assert path == [root]
+
+
+class TestNextHopRule:
+    def test_deliver_at_root(self):
+        ring, leaf_sets, tables = _network(40, seed=7)
+        key = SPACE.identifier((ring.ids[3].value + 1) % SPACE.size)
+        root = ring.root_of(key)
+        decision = pastry_next_hop(
+            root, key, ring, leaf_sets[root], tables[root], _always_alive
+        )
+        assert decision.action == DELIVER
+        assert decision.node == root
+
+    def test_dead_candidates_are_routed_around(self):
+        ring, leaf_sets, tables = _network(40, seed=8)
+        rng = random.Random(9)
+        key = SPACE.random_identifier(rng)
+        origin = rng.randrange(40)
+        first = pastry_next_hop(
+            origin, key, ring, leaf_sets[origin], tables[origin], _always_alive
+        )
+        if first.action == DELIVER:
+            return
+        dead = {first.node}
+
+        def alive(candidate, _kind):
+            return candidate not in dead
+
+        second = pastry_next_hop(
+            origin, key, ring, leaf_sets[origin], tables[origin], alive
+        )
+        assert second.node not in dead
+
+    def test_all_dead_delivers_locally(self):
+        ring, leaf_sets, tables = _network(30, seed=10)
+        rng = random.Random(11)
+        key = SPACE.random_identifier(rng)
+        origin = rng.randrange(30)
+
+        def nothing_alive(_candidate, _kind):
+            return False
+
+        decision = pastry_next_hop(
+            origin, key, ring, leaf_sets[origin], tables[origin], nothing_alive
+        )
+        assert decision.action == DELIVER
+        assert decision.node == origin
+
+    def test_singleton_ring(self):
+        ids = [SPACE.identifier(42)]
+        ring = PastryRing(ids)
+        decision = pastry_next_hop(
+            0, SPACE.identifier(7), ring, (), {}, _always_alive
+        )
+        assert decision.action == DELIVER
+
+    def test_leafset_source_for_near_keys(self):
+        ring, leaf_sets, tables = _network(40, seed=12)
+        node = 0
+        # key right next to a leafset member
+        member = leaf_sets[node][0]
+        key = SPACE.identifier(ring.ids[member].value)
+        decision = pastry_next_hop(
+            node, key, ring, leaf_sets[node], tables[node], _always_alive
+        )
+        assert decision.action == "forward"
+        assert decision.node == member

@@ -1,0 +1,127 @@
+"""Tests for Pastry ring state: root resolution, leaf sets, routing tables."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.identifiers import IdSpace
+from repro.errors import ConfigurationError
+from repro.pastry.state import (
+    PastryRing,
+    build_leaf_sets,
+    build_routing_tables,
+    table_entry_count,
+)
+from repro.sim.latency import UniformRandomLatency
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+def _ring(n, seed=0):
+    rng = random.Random(seed)
+    ids = SPACE.random_unique_identifiers(n, rng)
+    return PastryRing(ids), ids
+
+
+class TestRing:
+    def test_unique_ids_required(self):
+        ids = [SPACE.identifier(1), SPACE.identifier(1)]
+        with pytest.raises(ConfigurationError):
+            PastryRing(ids)
+
+    def test_root_is_circularly_closest(self):
+        ring, ids = _ring(30, seed=1)
+        rng = random.Random(2)
+        for _ in range(50):
+            key = SPACE.random_identifier(rng)
+            root = ring.root_of(key)
+            best = min(
+                range(30),
+                key=lambda i: (ids[i].circular_distance(key), ids[i].value),
+            )
+            assert root == best
+
+    def test_root_exact_match(self):
+        ring, ids = _ring(10, seed=3)
+        assert ring.root_of(ids[4]) == 4
+
+    def test_signed_offset(self):
+        ring, _ids = _ring(4, seed=4)
+        size = SPACE.size
+        assert ring.signed_offset(10, 20) == 10
+        assert ring.signed_offset(20, 10) == -10
+        assert ring.signed_offset(0, size - 5) == -5
+
+
+class TestLeafSets:
+    def test_leaf_set_members_are_ring_adjacent(self):
+        ring, ids = _ring(40, seed=5)
+        leaf_sets = build_leaf_sets(ring, 8)
+        for node in range(40):
+            members = leaf_sets[node]
+            assert len(members) == 8
+            assert node not in members
+            pos = ring.position_of[node]
+            expected = {
+                ring.ring_order[(pos + off) % 40]
+                for off in (-4, -3, -2, -1, 1, 2, 3, 4)
+            }
+            assert set(members) == expected
+
+    def test_small_ring_leaf_set_is_everyone(self):
+        ring, _ids = _ring(5, seed=6)
+        leaf_sets = build_leaf_sets(ring, 8)
+        for node in range(5):
+            assert set(leaf_sets[node]) == set(range(5)) - {node}
+
+
+class TestRoutingTables:
+    def test_cell_invariants(self):
+        ring, ids = _ring(50, seed=7)
+        tables = build_routing_tables(ring, seed=7)
+        for node, table in enumerate(tables):
+            for (row, col), entry in table.items():
+                assert entry != node
+                assert ids[node].prefix_match_len(ids[entry]) == row
+                assert ids[entry].digit(row) == col
+
+    def test_all_reachable_prefixes_covered(self):
+        """Every (row, col) for which a matching node exists is populated."""
+        ring, ids = _ring(50, seed=8)
+        tables = build_routing_tables(ring, seed=8)
+        for node in range(50):
+            populated = set(tables[node])
+            required = set()
+            for other in range(50):
+                if other == node:
+                    continue
+                row = ids[node].prefix_match_len(ids[other])
+                required.add((row, ids[other].digit(row)))
+            assert required == populated
+
+    def test_proximity_selection_prefers_low_latency(self):
+        ring, ids = _ring(50, seed=9)
+        latency = UniformRandomLatency(0.01, 0.2, seed=10)
+        tables = build_routing_tables(ring, latency=latency, seed=9)
+        for node, table in enumerate(tables):
+            for (row, col), entry in table.items():
+                for other in range(50):
+                    if other in (node, entry):
+                        continue
+                    if (
+                        ids[node].prefix_match_len(ids[other]) == row
+                        and ids[other].digit(row) == col
+                    ):
+                        assert latency.latency(node, entry) <= latency.latency(
+                            node, other
+                        )
+
+    def test_table_entry_count(self):
+        ring, _ids = _ring(20, seed=11)
+        tables = build_routing_tables(ring, seed=11)
+        avg = table_entry_count(tables)
+        assert avg > 0
+        assert avg == pytest.approx(sum(len(t) for t in tables) / 20)
+        assert table_entry_count([]) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for the shared perturbation-experiment machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.perturbed import (
+    ALL_VARIANTS,
+    MPIL_MAX_FLOWS,
+    MPIL_PER_FLOW_REPLICAS,
+    VARIANT_LABELS,
+    build_testbed,
+    run_cell,
+)
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return build_testbed(num_nodes=70, num_inserts=20, seed=0)
+
+
+class TestTestbed:
+    def test_stage1_state(self, testbed):
+        assert len(testbed.objects_plain) == 20
+        assert len(testbed.objects_rr) == 20
+        assert len(testbed.objects_mpil) == 20
+        for key in testbed.objects_plain:
+            assert testbed.pastry.directory.replica_count(key) == 1
+        for key in testbed.objects_rr:
+            assert testbed.pastry.directory.replica_count(key) >= 1
+        for key in testbed.objects_mpil:
+            assert testbed.mpil.directory.replica_count(key) >= 1
+
+    def test_mpil_parameters_match_paper(self):
+        assert MPIL_MAX_FLOWS == 10
+        assert MPIL_PER_FLOW_REPLICAS == 5
+
+    def test_variant_labels(self):
+        assert VARIANT_LABELS["pastry"] == "MSPastry"
+        assert VARIANT_LABELS["mpil-nods"] == "MPIL without DS"
+
+
+class TestRunCell:
+    def test_all_variants_present(self, testbed):
+        cells = run_cell(testbed, "30:30", 0.5, 10, variants=ALL_VARIANTS)
+        assert [c.variant for c in cells] == list(ALL_VARIANTS)
+        for cell in cells:
+            assert cell.lookups == 10
+            assert 0.0 <= cell.success_rate <= 100.0
+            assert cell.duration == 10 * 60.0
+
+    def test_unknown_variant_rejected(self, testbed):
+        with pytest.raises(ExperimentError):
+            run_cell(testbed, "30:30", 0.5, 5, variants=("chord",))
+
+    def test_zero_probability_near_perfect(self, testbed):
+        cells = run_cell(testbed, "30:30", 0.0, 15, variants=ALL_VARIANTS)
+        for cell in cells:
+            assert cell.success_rate >= 85.0
+
+    def test_maintenance_traffic_only_for_pastry(self, testbed):
+        cells = run_cell(testbed, "30:30", 0.5, 8, variants=ALL_VARIANTS)
+        by_variant = {c.variant: c for c in cells}
+        assert by_variant["pastry"].maintenance_messages > 0
+        assert by_variant["mpil-ds"].maintenance_messages == 0
+        assert by_variant["mpil-nods"].maintenance_messages == 0
+
+    def test_pastry_total_includes_maintenance(self, testbed):
+        cells = run_cell(testbed, "30:30", 0.5, 8, variants=("pastry",))
+        cell = cells[0]
+        assert cell.total_messages >= cell.maintenance_messages
+        assert cell.total_messages >= cell.lookup_messages
+
+    def test_heavy_perturbation_hurts_pastry_more_than_mpil_at_300(self, testbed):
+        cells = run_cell(testbed, "300:300", 1.0, 25, variants=("pastry", "mpil-nods"))
+        by_variant = {c.variant: c for c in cells}
+        assert (
+            by_variant["mpil-nods"].success_rate
+            >= by_variant["pastry"].success_rate
+        )
+
+    def test_determinism(self, testbed):
+        a = run_cell(testbed, "30:30", 0.7, 8, variants=("pastry",))
+        b = run_cell(testbed, "30:30", 0.7, 8, variants=("pastry",))
+        assert a[0].success_rate == b[0].success_rate
+        assert a[0].lookup_messages == b[0].lookup_messages

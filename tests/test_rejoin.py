@@ -1,0 +1,99 @@
+"""Tests for declared-failure eviction and rejoin semantics."""
+
+from __future__ import annotations
+
+from repro.pastry.config import PastryConfig
+from repro.pastry.rejoin import RejoinAdjustedAvailability
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+
+
+def _adjusted(idle, offline, p, n=10, seed=0, **kwargs):
+    schedule = FlappingSchedule(FlappingConfig(idle, offline, p), n, seed=seed)
+    return (
+        RejoinAdjustedAvailability(schedule, PastryConfig(), seed=seed, **kwargs),
+        schedule,
+    )
+
+
+class TestThreshold:
+    def test_short_offline_periods_never_evict(self):
+        for label in ((1, 1), (30, 30), (45, 15)):
+            adjusted, schedule = _adjusted(label[0], label[1], 1.0)
+            assert not adjusted._evictions_possible
+            for node in range(10):
+                for t in (10.0, 100.0, 333.0, 1234.0):
+                    assert adjusted.is_online(node, t) == schedule.is_online(node, t)
+
+    def test_long_offline_periods_evict(self):
+        adjusted, _ = _adjusted(300, 300, 1.0)
+        assert adjusted._evictions_possible
+
+    def test_zero_probability_never_evicts(self):
+        adjusted, _ = _adjusted(300, 300, 0.0)
+        assert not adjusted._evictions_possible
+        assert adjusted.is_online(0, 5000.0)
+
+
+class TestRejoinDelay:
+    def test_offline_node_still_offline(self):
+        adjusted, schedule = _adjusted(300, 300, 1.0, seed=1)
+        for node in range(10):
+            phase = schedule.phase(node)
+            assert not adjusted.is_online(node, phase + 450.0)  # mid offline part
+
+    def test_node_unavailable_right_after_recovery(self):
+        """Immediately after a long outage the node is genuinely online but
+        still rejoining, so the Pastry layer sees it offline."""
+        adjusted, schedule = _adjusted(300, 300, 1.0, seed=2)
+        node = 3
+        phase = schedule.phase(node)
+        recovery = phase + 600.0  # end of first cycle's offline episode
+        assert schedule.is_online(node, recovery + 1.0)
+        completion = adjusted._rejoin_completion(node, 0)
+        if completion > recovery + 1.0:
+            assert not adjusted.is_online(node, recovery + 1.0)
+        assert adjusted.is_online(node, completion + 1.0) == schedule.is_online(
+            node, completion + 1.0
+        )
+
+    def test_rejoin_eventually_completes_in_healthy_network(self):
+        # p small: contacts are almost always online, so rejoin is immediate
+        adjusted, schedule = _adjusted(300, 300, 0.15, n=20, seed=3)
+        node = 0
+        # find this node's first actual offline episode
+        episode = None
+        for k in range(40):
+            if schedule.goes_offline(node, k):
+                episode = k
+                break
+        if episode is None:
+            return  # this seed never flapped the node; nothing to check
+        completion = adjusted._rejoin_completion(node, episode)
+        recovery = schedule.phase(node) + (episode + 1) * 600.0
+        assert completion - recovery <= 2 * PastryConfig().leafset_probe_period
+
+    def test_rejoin_completion_cached(self):
+        adjusted, _ = _adjusted(300, 300, 1.0, seed=4)
+        first = adjusted._rejoin_completion(2, 0)
+        assert adjusted._rejoin_completion(2, 0) == first
+        assert (2, 0) in adjusted._rejoin_cache
+
+    def test_always_online_nodes_exempt(self):
+        schedule = FlappingSchedule(
+            FlappingConfig(300, 300, 1.0), 10, seed=5, always_online={0}
+        )
+        adjusted = RejoinAdjustedAvailability(schedule, PastryConfig(), seed=5)
+        for t in (0.0, 450.0, 900.0, 5000.0):
+            assert adjusted.is_online(0, t)
+
+    def test_passthrough_properties(self):
+        adjusted, schedule = _adjusted(300, 300, 0.5)
+        assert adjusted.num_nodes == schedule.num_nodes
+        assert adjusted.config is schedule.config
+
+    def test_effective_availability_below_raw_at_high_p(self):
+        adjusted, schedule = _adjusted(300, 300, 1.0, n=30, seed=6)
+        times = [1000.0 + 37.0 * k for k in range(60)]
+        raw = sum(schedule.is_online(n, t) for n in range(30) for t in times)
+        adj = sum(adjusted.is_online(n, t) for n in range(30) for t in times)
+        assert adj < raw

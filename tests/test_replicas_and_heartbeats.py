@@ -1,0 +1,142 @@
+"""Tests for the replica directory and the Section 4.4 deletion protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.heartbeats import HeartbeatService
+from repro.core.identifiers import IdSpace
+from repro.core.network import MPILNetwork
+from repro.core.replicas import ReplicaDirectory
+from repro.errors import SimulationError
+from repro.overlay.random_graphs import ring_lattice_graph
+from repro.sim.engine import EventScheduler
+from repro.sim.rng import derive_rng
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+class TestReplicaDirectory:
+    def test_store_and_lookup(self):
+        directory = ReplicaDirectory()
+        obj = SPACE.identifier(42)
+        assert directory.store(1, obj, owner=0)
+        assert not directory.store(1, obj, owner=0)  # idempotent
+        assert directory.has(1, obj)
+        assert directory.holders(obj) == {1}
+        assert directory.replica_count(obj) == 1
+        assert len(directory) == 1
+
+    def test_remove(self):
+        directory = ReplicaDirectory()
+        obj = SPACE.identifier(7)
+        directory.store(1, obj, owner=0)
+        directory.store(2, obj, owner=0)
+        assert directory.remove(1, obj)
+        assert not directory.remove(1, obj)
+        assert directory.holders(obj) == {2}
+
+    def test_remove_object(self):
+        directory = ReplicaDirectory()
+        obj = SPACE.identifier(9)
+        for node in (1, 2, 3):
+            directory.store(node, obj, owner=0)
+        assert directory.remove_object(obj) == 3
+        assert directory.holders(obj) == frozenset()
+        assert directory.remove_object(obj) == 0
+
+    def test_objects_at_node(self):
+        directory = ReplicaDirectory()
+        a, b = SPACE.identifier(1), SPACE.identifier(2)
+        directory.store(5, a, owner=0)
+        directory.store(5, b, owner=0)
+        assert directory.objects_at(5) == {1, 2}
+        directory.remove(5, a)
+        assert directory.objects_at(5) == {2}
+
+    def test_records_carry_metadata(self):
+        directory = ReplicaDirectory()
+        obj = SPACE.identifier(3)
+        directory.store(4, obj, owner=9, hop=2, time=1.5)
+        record = directory.record(4, obj)
+        assert record.owner == 9
+        assert record.stored_hop == 2
+        assert record.stored_time == 1.5
+        assert len(list(directory.iter_records())) == 1
+
+
+def _network_with_insert(seed=0):
+    overlay = ring_lattice_graph(30, k=2)
+    net = MPILNetwork(overlay, space=SPACE, seed=seed)
+    rng = derive_rng(seed, "objects")
+    obj = net.random_object_id(rng)
+    result = net.insert(0, obj)
+    return net, obj, result
+
+
+class TestHeartbeats:
+    def test_owner_learns_holders_from_heartbeats(self):
+        net, obj, result = _network_with_insert(seed=1)
+        engine = EventScheduler()
+        service = HeartbeatService(net, engine, period=30.0)
+        service.register_insert(result)
+        engine.run(until=1.0)  # first beats fire immediately
+        assert service.known_holders(obj) == set(result.replicas)
+
+    def test_periodic_beats_generate_traffic(self):
+        net, _obj, result = _network_with_insert(seed=2)
+        engine = EventScheduler()
+        service = HeartbeatService(net, engine, period=10.0)
+        service.register_insert(result)
+        engine.run(until=35.0)
+        # 1 immediate + 3 periodic rounds per replica
+        assert service.counters.messages_sent >= 4 * result.replica_count
+
+    def test_delete_removes_known_replicas(self):
+        net, obj, result = _network_with_insert(seed=3)
+        engine = EventScheduler()
+        service = HeartbeatService(net, engine, period=30.0)
+        service.register_insert(result)
+        engine.run(until=1.0)
+        removed = service.delete(obj)
+        assert removed == result.replica_count
+        assert net.directory.replica_count(obj) == 0
+        assert not net.lookup(5, obj).success
+
+    def test_deleted_replicas_stop_beating(self):
+        net, obj, result = _network_with_insert(seed=4)
+        engine = EventScheduler()
+        service = HeartbeatService(net, engine, period=10.0)
+        service.register_insert(result)
+        engine.run(until=1.0)
+        service.delete(obj)
+        sent_before = service.counters.messages_sent
+        engine.run(until=100.0)
+        assert service.counters.messages_sent == sent_before
+
+    def test_stale_holders_age_out(self):
+        net, obj, result = _network_with_insert(seed=5)
+        engine = EventScheduler()
+
+        class DiesAt50:
+            def is_online(self, node, time):  # noqa: ARG002
+                return time < 50.0
+
+        service = HeartbeatService(
+            net, engine, period=10.0, failure_multiplier=2.0, availability=DiesAt50()
+        )
+        service.register_insert(result)
+        engine.run(until=40.0)
+        assert service.known_holders(obj)
+        engine.run(until=200.0)
+        assert service.known_holders(obj) == frozenset()
+
+    def test_delete_unknown_object(self):
+        net, _obj, _result = _network_with_insert(seed=6)
+        service = HeartbeatService(net, EventScheduler(), period=10.0)
+        assert service.delete(SPACE.identifier(1)) == 0
+
+    def test_invalid_period(self):
+        net, _obj, _result = _network_with_insert(seed=7)
+        with pytest.raises(SimulationError):
+            HeartbeatService(net, EventScheduler(), period=0.0)

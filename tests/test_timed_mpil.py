@@ -1,0 +1,111 @@
+"""Tests for the event-driven (timed) MPIL driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import IdSpace
+from repro.core.timed import TimedMPILNetwork
+from repro.errors import RoutingError
+from repro.overlay.random_graphs import fixed_degree_random_graph, ring_lattice_graph
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.sim.latency import ConstantLatency
+from repro.sim.rng import derive_rng
+
+SPACE = IdSpace(bits=16, digit_bits=4)
+
+
+def _timed(overlay, seed=0, **config_kwargs):
+    config = MPILConfig(**{"max_flows": 6, "per_flow_replicas": 3, **config_kwargs})
+    return TimedMPILNetwork(
+        overlay, space=SPACE, config=config, seed=seed, latency=ConstantLatency(0.05)
+    )
+
+
+class TestStaticEquivalence:
+    def test_always_online_matches_static_success(self):
+        overlay = fixed_degree_random_graph(50, degree=6, seed=1)
+        timed = _timed(overlay, seed=1)
+        rng = derive_rng(1, "keys")
+        for _ in range(10):
+            key = SPACE.random_identifier(rng)
+            origin = rng.randrange(50)
+            timed.insert_static(origin, key)
+            static_result = timed.static.lookup(origin, key)
+            timed_result = timed.lookup_at(origin, key, start_time=0.0)
+            assert timed_result.success == static_result.success
+
+    def test_latency_accumulates_per_hop(self):
+        overlay = ring_lattice_graph(20, k=1)
+        timed = _timed(overlay, seed=2)
+        rng = derive_rng(2, "keys")
+        key = SPACE.random_identifier(rng)
+        timed.insert_static(0, key)
+        result = timed.lookup_at(10, key, start_time=5.0)
+        if result.success:
+            # reply latency = (hops + 1 direct reply) * 0.05
+            expected = (result.first_reply_hop + 1) * 0.05
+            assert result.latency == pytest.approx(expected, abs=1e-9)
+            assert result.first_reply_time == pytest.approx(5.0 + expected, abs=1e-9)
+
+
+class TestPerturbedBehaviour:
+    def _setup(self, p, seed=3, n=60):
+        overlay = fixed_degree_random_graph(n, degree=8, seed=seed)
+        timed = _timed(overlay, seed=seed, max_flows=8, per_flow_replicas=4)
+        rng = derive_rng(seed, "keys")
+        keys = [SPACE.random_identifier(rng) for _ in range(20)]
+        for key in keys:
+            timed.insert_static(rng.randrange(n), key)
+        schedule = FlappingSchedule(
+            FlappingConfig(30, 30, p), n, seed=seed + 1, always_online={0}
+        )
+        timed.availability = schedule
+        return timed, keys
+
+    def test_no_perturbation_full_success(self):
+        timed, keys = self._setup(0.0)
+        assert all(
+            timed.lookup_at(0, key, start_time=100.0 + 60.0 * i).success
+            for i, key in enumerate(keys)
+        )
+
+    def test_offline_losses_counted(self):
+        timed, keys = self._setup(1.0)
+        lost = sum(
+            timed.lookup_at(0, key, start_time=100.0 + 60.0 * i).counters.lost_offline
+            for i, key in enumerate(keys)
+        )
+        assert lost > 0
+
+    def test_success_monotonically_degrades(self):
+        rates = []
+        for p in (0.0, 0.5, 1.0):
+            timed, keys = self._setup(p)
+            rates.append(
+                sum(
+                    timed.lookup_at(0, key, start_time=100.0 + 60.0 * i).success
+                    for i, key in enumerate(keys)
+                )
+            )
+        assert rates[0] >= rates[1] >= rates[2] or rates[0] > rates[2]
+
+    def test_deadline_stops_propagation(self):
+        timed, keys = self._setup(0.0)
+        result = timed.lookup_at(0, keys[0], start_time=100.0, deadline=100.0)
+        # nothing can be delivered in zero time except an origin-held replica
+        if not timed.directory.has(0, keys[0]):
+            assert not result.success
+
+    def test_origin_validated(self):
+        overlay = ring_lattice_graph(10, k=1)
+        timed = _timed(overlay)
+        with pytest.raises(RoutingError):
+            timed.lookup_at(99, SPACE.identifier(0), start_time=0.0)
+
+    def test_duplicate_suppression_override(self):
+        timed, keys = self._setup(0.0, seed=5)
+        a = timed.lookup_at(0, keys[0], start_time=0.0, duplicate_suppression=True)
+        b = timed.lookup_at(0, keys[0], start_time=0.0, duplicate_suppression=False)
+        assert b.counters.messages_sent >= a.counters.messages_sent

@@ -1,0 +1,143 @@
+"""Tests for the probed-view oracle (maintenance beliefs)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.pastry.config import PastryConfig
+from repro.pastry.maintenance import MaintenanceReplay
+from repro.pastry.views import LEAFSET, TABLE, ProbedViewOracle
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+
+
+def _oracle(idle, offline, p, n=6, seed=0, **kwargs):
+    schedule = FlappingSchedule(FlappingConfig(idle, offline, p), n, seed=seed)
+    return ProbedViewOracle(schedule, PastryConfig(), seed=seed, **kwargs), schedule
+
+
+class TestBasics:
+    def test_all_online_all_believed_alive(self):
+        oracle, _ = _oracle(30, 30, 0.0)
+        for y, x in itertools.permutations(range(6), 2):
+            for t in (0.0, 100.0, 1000.0):
+                assert oracle.believes_alive(y, x, t, LEAFSET)
+                assert oracle.believes_alive(y, x, t, TABLE)
+
+    def test_self_belief(self):
+        oracle, _ = _oracle(30, 30, 1.0)
+        assert oracle.believes_alive(3, 3, 500.0)
+
+    def test_initial_belief_alive(self):
+        oracle, _ = _oracle(300, 300, 1.0)
+        # before any probe could have fired
+        assert oracle.believes_alive(0, 1, 0.0, LEAFSET)
+
+    def test_long_dead_target_becomes_believed_dead(self):
+        oracle, schedule = _oracle(300, 300, 1.0, seed=3)
+        # find a time where node 1 has been offline for > one probe round
+        # and node 0 online (so node 0 probed it)
+        found = False
+        for t in range(100, 3000, 10):
+            t = float(t)
+            if (
+                not schedule.is_online(1, t)
+                and not schedule.is_online(1, t - 45.0)
+                and schedule.is_online(0, t)
+                and schedule.is_online(0, t - 45.0)
+            ):
+                assert not oracle.believes_alive(0, 1, t, LEAFSET)
+                found = True
+                break
+        assert found
+
+    def test_recovered_target_becomes_believed_alive_again(self):
+        oracle, schedule = _oracle(300, 300, 1.0, seed=4)
+        # a time where node 1 has been online for > one probe round
+        found = False
+        for t in range(400, 4000, 10):
+            t = float(t)
+            if all(schedule.is_online(1, t - dt) for dt in (0.0, 20.0, 40.0)) and all(
+                schedule.is_online(0, t - dt) for dt in (0.0, 20.0, 40.0)
+            ):
+                assert oracle.believes_alive(0, 1, t, LEAFSET)
+                found = True
+                break
+        assert found
+
+    def test_probe_phase_within_period(self):
+        oracle, _ = _oracle(30, 30, 0.5)
+        config = PastryConfig()
+        for node in range(6):
+            assert 0 <= oracle.probe_phase(node, LEAFSET) < config.leafset_probe_period
+            assert (
+                0
+                <= oracle.probe_phase(node, TABLE)
+                < config.routing_table_probe_period
+            )
+
+    def test_unknown_kind_rejected(self):
+        oracle, _ = _oracle(30, 30, 0.5)
+        with pytest.raises(ConfigurationError):
+            oracle.probe_period("gossip")
+
+    def test_scan_limit_validated(self):
+        schedule = FlappingSchedule(FlappingConfig(1, 1, 0.5), 4, seed=0)
+        with pytest.raises(ConfigurationError):
+            ProbedViewOracle(schedule, PastryConfig(), scan_limit=0)
+
+    def test_short_flap_bridged_by_probe_retries(self):
+        """With 1:1 flapping, a probe that catches a node offline retries 3 s
+        later when the node is back: nodes stay believed alive."""
+        oracle, schedule = _oracle(1, 1, 1.0, seed=5)
+        sampled = 0
+        believed_alive = 0
+        for t in range(50, 250):
+            t = float(t)
+            if schedule.is_online(0, t):
+                sampled += 1
+                believed_alive += oracle.believes_alive(0, 1, t, LEAFSET)
+        assert sampled > 0
+        assert believed_alive / sampled > 0.95
+
+
+class TestAgainstReplay:
+    """The oracle's backward scan must agree with a forward event replay."""
+
+    @pytest.mark.parametrize("idle,offline,p", [(30, 30, 0.7), (45, 15, 0.5), (300, 300, 0.9)])
+    def test_exact_agreement(self, idle, offline, p):
+        oracle, _schedule = _oracle(idle, offline, p, n=5, seed=11, scan_limit=10_000)
+        horizon = 40 * (idle + offline)
+        pairs = list(itertools.permutations(range(5), 2))
+        replay = MaintenanceReplay(oracle, pairs, kind=LEAFSET, until=horizon)
+        times = [13.7 + k * (horizon - 20) / 60 for k in range(60)]
+        for y, x in pairs:
+            for t in times:
+                assert oracle.believes_alive(y, x, t, LEAFSET) == replay.believes_alive(
+                    y, x, t
+                ), (y, x, t)
+
+    def test_replay_transitions_sorted(self):
+        oracle, _ = _oracle(30, 30, 0.8, n=4, seed=12)
+        replay = MaintenanceReplay(oracle, [(0, 1)], kind=LEAFSET, until=1000.0)
+        events = replay.transitions(0, 1)
+        assert events == sorted(events)
+
+
+class TestMaintenanceTrafficEstimate:
+    def test_scales_with_duration_and_sizes(self):
+        oracle, _ = _oracle(30, 30, 0.5, n=10)
+        small = oracle.expected_maintenance_messages(1000.0, 8.0, 20.0)
+        double_duration = oracle.expected_maintenance_messages(2000.0, 8.0, 20.0)
+        assert double_duration == pytest.approx(2 * small)
+        more_entries = oracle.expected_maintenance_messages(1000.0, 8.0, 40.0)
+        assert more_entries > small
+
+    def test_offline_nodes_probe_less(self):
+        heavy, _ = _oracle(30, 30, 1.0, n=10)
+        light, _ = _oracle(30, 30, 0.1, n=10)
+        assert heavy.expected_maintenance_messages(
+            1000.0, 8.0, 20.0
+        ) < light.expected_maintenance_messages(1000.0, 8.0, 20.0)
