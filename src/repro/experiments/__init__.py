@@ -5,20 +5,32 @@ and is registered in :mod:`repro.experiments.registry`.  Use the CLI::
 
     mpil-experiments list
     mpil-experiments run fig9 tab1 --scale default
+    mpil-experiments sweep fig9 tab1 --seeds 0..9 --jobs 4
 
-or the benchmarks under ``benchmarks/`` (one per figure/table).
+or the benchmarks under ``benchmarks/`` (one per figure/table).  Sweeps
+persist per-seed JSON replicates plus mean/stdev/ci95 aggregates through
+:class:`~repro.experiments.store.ResultStore` (see
+:mod:`repro.experiments.runner` and :mod:`repro.experiments.store`).
 """
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import all_experiment_ids, get_experiment, run_experiment
+from repro.experiments.runner import SweepReport, SweepSpec, parse_seeds, run_sweep
 from repro.experiments.scales import SCALES, Scale, get_scale
+from repro.experiments.store import ResultStore, aggregate_results
 
 __all__ = [
     "ExperimentResult",
+    "ResultStore",
     "SCALES",
     "Scale",
+    "SweepReport",
+    "SweepSpec",
+    "aggregate_results",
     "all_experiment_ids",
     "get_experiment",
     "get_scale",
+    "parse_seeds",
     "run_experiment",
+    "run_sweep",
 ]

@@ -64,6 +64,7 @@ def run_metric_ablation(scale: str = "default", seed: object = 0) -> ExperimentR
             "replica cost; common-digits achieves it cheaply"
         ),
         scale=resolved.name,
+        key_columns=('metric',),
     )
 
 
@@ -108,6 +109,7 @@ def run_ds_ablation(scale: str = "default", seed: object = 0) -> ExperimentResul
         rows=rows,
         notes="DS trades replicas/coverage for traffic on static overlays",
         scale=resolved.name,
+        key_columns=('family', 'ds'),
     )
 
 
@@ -145,6 +147,7 @@ def run_flows_ablation(scale: str = "default", seed: object = 0) -> ExperimentRe
         rows=rows,
         notes="diminishing returns in the flow budget; traffic grows with it",
         scale=resolved.name,
+        key_columns=('max_flows',),
     )
 
 
@@ -184,4 +187,5 @@ def run_tiebreak_ablation(scale: str = "default", seed: object = 0) -> Experimen
         rows=rows,
         notes="success should be insensitive to the tie-break policy",
         scale=resolved.name,
+        key_columns=('tie_break',),
     )

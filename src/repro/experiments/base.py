@@ -1,10 +1,20 @@
-"""Shared experiment result type and helpers."""
+"""Shared experiment result type and helpers.
+
+:class:`ExperimentResult` is the unit of currency between the experiment
+modules, the sweep runner (:mod:`repro.experiments.runner`), and the result
+store (:mod:`repro.experiments.store`): every ``run()`` function returns
+one, and :meth:`ExperimentResult.to_dict` / :meth:`ExperimentResult.from_dict`
+round-trip it losslessly through JSON so replicates can be persisted and
+re-aggregated long after the run.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Sequence
+import math
+from typing import Any, Mapping, Sequence
 
+from repro.errors import ExperimentError
 from repro.util.tables import render_table
 
 
@@ -18,6 +28,11 @@ class ExperimentResult:
     rows: list[tuple]
     notes: str = ""
     scale: str = "default"
+    #: sweep-dimension columns (family, node count, probability, ...) whose
+    #: values identify a row rather than measure anything.  Aggregation
+    #: passes these through and computes mean/stdev/ci95 for every other
+    #: column, keeping the aggregate schema independent of the sampled data.
+    key_columns: tuple[str, ...] = ()
 
     def table(self, float_digits: int = 3) -> str:
         header = f"{self.experiment_id}: {self.title} [scale={self.scale}]"
@@ -40,6 +55,44 @@ class ExperimentResult:
             if all(row[indices[name]] == value for name, value in criteria.items())
         ]
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serialisable payload; inverse of :meth:`from_dict`.
+
+        Tuples become lists (JSON has no tuple type); ``from_dict`` restores
+        them, so ``from_dict(to_dict(r)) == r`` for any result whose cells
+        are JSON scalars (str/int/float/bool/None) — which all registered
+        experiments produce.
+
+        >>> r = ExperimentResult("fig0", "t", ("a", "b"), [(1, 2.5)])
+        >>> ExperimentResult.from_dict(r.to_dict()) == r
+        True
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": self.notes,
+            "scale": self.scale,
+            "key_columns": list(self.key_columns),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output (e.g. parsed JSON)."""
+        try:
+            return cls(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                columns=tuple(payload["columns"]),
+                rows=[tuple(row) for row in payload["rows"]],
+                notes=payload.get("notes", ""),
+                scale=payload.get("scale", "default"),
+                key_columns=tuple(payload.get("key_columns", ())),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ExperimentError(f"malformed ExperimentResult payload: {exc!r}") from None
+
 
 def mean(values: Sequence[float]) -> float:
     """Arithmetic mean (0.0 for empty input, to keep tables total)."""
@@ -47,3 +100,20 @@ def mean(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return math.sqrt(sum((v - center) ** 2 for v in values) / (len(values) - 1))
+
+
+def ci95(values: Sequence[float]) -> float:
+    """Half-width of the normal-approximation 95% confidence interval."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    return 1.96 * stdev(values) / math.sqrt(len(values))

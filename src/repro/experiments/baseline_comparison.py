@@ -102,4 +102,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "its traffic — the paper's 'best of both worlds' point"
         ),
         scale=resolved.name,
+        key_columns=('family', 'strategy'),
     )

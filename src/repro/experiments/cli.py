@@ -1,22 +1,47 @@
-"""Command-line interface: ``mpil-experiments list|run ...``.
+"""Command-line interface: ``mpil-experiments list|run|sweep ...``.
+
+Three commands:
+
+- ``list`` — show every registered experiment id and title;
+- ``run``  — run experiments one seed at a time, print their tables, and
+  (with ``--out``) persist each replicate through the result store plus a
+  legacy ``<id>_<scale>_seed<seed>.txt`` table;
+- ``sweep`` — run experiments over a *set* of seeds, optionally across a
+  worker pool, persisting per-seed JSON artifacts and a mean/stdev/ci95
+  aggregate per experiment (see :mod:`repro.experiments.runner` and
+  :mod:`repro.experiments.store`).
+
+The sweep store layout is ``<out>/<experiment>/<scale>/seed_<n>.json`` with
+a ``manifest.json`` (git revision, timestamps, wall-clock, event counts)
+and ``aggregate.json``/``aggregate.csv`` alongside.  Per-seed JSON is
+byte-identical across reruns of the same spec, regardless of ``--jobs``.
 
 Examples::
 
     mpil-experiments list
     mpil-experiments run fig9 --scale smoke
     mpil-experiments run all --scale default --out results/
+    mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format json
+    mpil-experiments sweep fig9 --seeds 0,2,5 --scale smoke --format csv
+
+(Without an installed entry point, invoke the same CLI as
+``PYTHONPATH=src python -m repro.experiments.cli ...``.)
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
 from typing import Optional, Sequence
 
+from repro.errors import ExperimentError
 from repro.experiments.registry import all_experiment_ids, get_experiment, run_experiment
+from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sweep
 from repro.experiments.scales import SCALES
+from repro.experiments.store import ResultStore, result_to_csv
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,35 +70,132 @@ def build_parser() -> argparse.ArgumentParser:
         "--out",
         type=pathlib.Path,
         default=None,
-        help="directory to also write one .txt per experiment",
+        help=(
+            "result-store root: writes <out>/<id>/<scale>/seed_<n>.json plus "
+            "one <id>_<scale>_seed<n>.txt table per experiment"
+        ),
+    )
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run experiments over many seeds, in parallel"
+    )
+    sweep_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (or 'all')",
+    )
+    sweep_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="experiment scale preset",
+    )
+    sweep_parser.add_argument(
+        "--seeds",
+        default="0..9",
+        help="seed set: '7', an inclusive range '0..9', or a list '0,2,5'",
+    )
+    sweep_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = run inline)",
+    )
+    sweep_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("results"),
+        help="result-store root directory (default: results/)",
+    )
+    sweep_parser.add_argument(
+        "--format",
+        choices=("table", "json", "csv"),
+        default="table",
+        help="how to print each experiment's aggregate",
     )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    if args.command == "list":
-        for experiment_id in all_experiment_ids():
-            title, _fn = get_experiment(experiment_id)
-            print(f"{experiment_id:18s} {title}")
-        return 0
+def _cmd_list() -> int:
+    for experiment_id in all_experiment_ids():
+        title, _fn = get_experiment(experiment_id)
+        print(f"{experiment_id:18s} {title}")
+    return 0
 
-    requested = list(args.experiments)
+
+def _requested_ids(experiments: Sequence[str]) -> list[str]:
+    requested = list(experiments)
     if requested == ["all"]:
-        requested = all_experiment_ids()
+        return all_experiment_ids()
+    return requested
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    store = None
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for experiment_id in requested:
+        store = ResultStore(args.out)
+    for experiment_id in _requested_ids(args.experiments):
         started = time.perf_counter()
         result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
         elapsed = time.perf_counter() - started
         text = result.table()
         print(text)
         print(f"({experiment_id} completed in {elapsed:.1f}s)\n")
-        if args.out is not None:
-            path = args.out / f"{experiment_id}_{args.scale}.txt"
+        if store is not None:
+            store.save(result, seed=args.seed, wall_clock=elapsed)
+            # Seed in the name so replicates never overwrite each other.
+            path = args.out / f"{experiment_id}_{result.scale}_seed{args.seed}.txt"
             path.write_text(text + "\n")
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = SweepSpec(
+        experiment_ids=tuple(_requested_ids(args.experiments)),
+        seeds=parse_seeds(args.seeds),
+        scale=args.scale,
+    )
+    store = ResultStore(args.out)
+
+    def progress(outcome: TaskOutcome) -> None:
+        print(
+            f"[{outcome.experiment_id} seed={outcome.seed}] "
+            f"{outcome.wall_clock:.1f}s, {outcome.events_processed} events -> "
+            f"{store.seed_path(outcome.experiment_id, outcome.scale, outcome.seed)}",
+            file=sys.stderr,
+        )
+
+    report = run_sweep(spec, store, jobs=args.jobs, progress=progress)
+    for aggregate in report.aggregates:
+        if args.format == "table":
+            print(aggregate.table())
+            print()
+        elif args.format == "json":
+            print(json.dumps(aggregate.to_dict(), sort_keys=True, indent=2))
+        else:
+            print(result_to_csv(aggregate), end="")
+    print(
+        f"(swept {len(report.outcomes)} tasks "
+        f"[{len(spec.experiment_ids)} experiments x {len(spec.seeds)} seeds] "
+        f"in {report.wall_clock:.1f}s with jobs={args.jobs}; "
+        f"artifacts under {args.out}/)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        return _cmd_sweep(args)
+    except ExperimentError as exc:
+        print(f"mpil-experiments {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -107,4 +107,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             f"{LOOKUP_SPACING:g}s; rejoin model not applied (flapping-specific)"
         ),
         scale=resolved.name,
+        key_columns=('mean_session_s',),
     )

@@ -52,4 +52,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "(~0 for p >= 0.8)"
         ),
         scale=resolved.name,
+        key_columns=('idle:offline', 'flap_prob'),
     )

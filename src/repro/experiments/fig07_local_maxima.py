@@ -35,4 +35,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:  # noqa: 
             "increasing in N, roughly N/(d+1)"
         ),
         scale=resolved.name,
+        key_columns=('nodes', 'neighbors'),
     )

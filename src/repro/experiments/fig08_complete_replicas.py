@@ -41,4 +41,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:  # noqa: 
             "matches it (1.52-1.63)"
         ),
         scale=resolved.name,
+        key_columns=('digit_base', 'nodes'),
     )

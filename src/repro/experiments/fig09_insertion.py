@@ -67,4 +67,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "count bounded by 150 regardless of N (paper Figure 9)"
         ),
         scale=resolved.name,
+        key_columns=('family', 'nodes'),
     )

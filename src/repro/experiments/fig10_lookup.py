@@ -68,4 +68,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
         rows=rows,
         notes="lookups with (10, 5); paper: latency and traffic flat in N",
         scale=resolved.name,
+        key_columns=('family', 'nodes'),
     )

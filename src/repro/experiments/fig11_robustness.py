@@ -58,4 +58,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "MSPastry+RR >= MSPastry"
         ),
         scale=resolved.name,
+        key_columns=('idle:offline', 'flap_prob'),
     )

@@ -62,4 +62,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "MSPastry total traffic (incl. maintenance probes) >> MPIL total"
         ),
         scale=resolved.name,
+        key_columns=('variant', 'flap_prob'),
     )

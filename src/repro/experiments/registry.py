@@ -77,8 +77,19 @@ def get_experiment(experiment_id: str) -> tuple[str, RunFunction]:
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "default", seed: object = 0
+    experiment_id: str, scale: str = "default", seed: int = 0
 ) -> ExperimentResult:
-    """Run one experiment by id."""
+    """Run one experiment by id.
+
+    ``seed`` must be a real int (bools are rejected): every derived random
+    stream hashes ``repr(seed)``, so ``0``, ``"0"``, and ``False`` would
+    silently produce three different trajectories — and the sweep runner
+    fans seeds out to worker processes, where such a mix-up would corrupt a
+    whole replicate set instead of one run.
+    """
+    if isinstance(seed, bool) or not isinstance(seed, int):
+        raise ExperimentError(
+            f"seed must be an int, got {type(seed).__name__} {seed!r}"
+        )
     _title, fn = get_experiment(experiment_id)
     return fn(scale=scale, seed=seed)

@@ -1,0 +1,243 @@
+"""Parallel sweep runner: many experiments × many seeds, one result store.
+
+The paper's headline numbers are Monte-Carlo aggregates over many seeds and
+topologies.  This module turns that into a first-class workflow: a
+:class:`SweepSpec` names the experiments, the seed set, and the scale; and
+:func:`run_sweep` executes every (experiment, seed) task — sequentially or
+across a ``multiprocessing`` pool — persisting each replicate through a
+:class:`~repro.experiments.store.ResultStore` and writing one aggregate
+(mean/stdev/ci95) table per experiment.
+
+Determinism is preserved under parallelism: each task re-derives all of its
+randomness from its own ``(experiment_id, scale, seed)`` triple via
+:func:`repro.sim.rng.derive_rng`, workers share no state, and the parent
+writes artifacts in a fixed task order, so ``--jobs 8`` produces the same
+bytes as ``--jobs 1`` and re-running a spec yields byte-identical per-seed
+JSON.
+
+Examples::
+
+    from repro.experiments.runner import SweepSpec, parse_seeds, run_sweep
+    from repro.experiments.store import ResultStore
+
+    spec = SweepSpec(("fig9", "tab1"), seeds=parse_seeds("0..3"), scale="smoke")
+    report = run_sweep(spec, ResultStore("results"), jobs=2)
+    for aggregate in report.aggregates:
+        print(aggregate.table())
+
+or, from the shell::
+
+    mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format table
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import get_experiment, run_experiment
+from repro.experiments.scales import get_scale
+from repro.experiments.store import ResultStore, aggregate_results
+from repro.sim.engine import events_processed_total
+
+
+def parse_seeds(text: str) -> tuple[int, ...]:
+    """Parse a seed specification into an ascending tuple of ints.
+
+    Accepts a single seed (``"7"``), an inclusive range (``"0..9"``), or a
+    comma-separated list (``"0,2,5"``).
+
+    >>> parse_seeds("0..3")
+    (0, 1, 2, 3)
+    >>> parse_seeds("4")
+    (4,)
+    >>> parse_seeds("5,1,3")
+    (1, 3, 5)
+    """
+    text = text.strip()
+    try:
+        if ".." in text:
+            low_text, high_text = text.split("..", 1)
+            low, high = int(low_text), int(high_text)
+            if high < low:
+                raise ExperimentError(f"empty seed range {text!r}")
+            return tuple(range(low, high + 1))
+        if "," in text:
+            return tuple(sorted({int(part) for part in text.split(",") if part.strip()}))
+        return (int(text),)
+    except ValueError:
+        raise ExperimentError(
+            f"bad seed spec {text!r}; expected e.g. '7', '0..9', or '0,2,5'"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: experiment ids × seeds, at one scale.
+
+    Validated eagerly so a bad id or seed fails in the parent process, not
+    half-way through a worker pool.
+    """
+
+    experiment_ids: tuple[str, ...]
+    seeds: tuple[int, ...]
+    scale: str = "default"
+
+    def __post_init__(self) -> None:
+        if not self.experiment_ids:
+            raise ExperimentError("sweep needs at least one experiment id")
+        deduped = tuple(dict.fromkeys(self.experiment_ids))
+        object.__setattr__(self, "experiment_ids", deduped)
+        if not self.seeds:
+            raise ExperimentError("sweep needs at least one seed")
+        for seed in self.seeds:
+            if isinstance(seed, bool) or not isinstance(seed, int):
+                raise ExperimentError(f"seed must be an int, got {seed!r}")
+        object.__setattr__(self, "seeds", tuple(dict.fromkeys(self.seeds)))
+        for experiment_id in self.experiment_ids:
+            get_experiment(experiment_id)  # raises on unknown ids
+        get_scale(self.scale)  # raises on unknown scales
+
+    def tasks(self) -> list[tuple[str, str, int]]:
+        """All (experiment_id, scale, seed) tasks, in deterministic order."""
+        return [
+            (experiment_id, self.scale, seed)
+            for experiment_id in self.experiment_ids
+            for seed in self.seeds
+        ]
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskOutcome:
+    """One completed (experiment, seed) task, as returned by a worker."""
+
+    experiment_id: str
+    scale: str
+    seed: int
+    payload: dict  #: ExperimentResult.to_dict() output
+    wall_clock: float
+    events_processed: int
+
+    @property
+    def result(self) -> ExperimentResult:
+        return ExperimentResult.from_dict(self.payload)
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Everything one :func:`run_sweep` call produced."""
+
+    spec: SweepSpec
+    outcomes: list[TaskOutcome]
+    aggregates: list[ExperimentResult]  #: one per experiment id, spec order
+    wall_clock: float  #: end-to-end sweep time in the parent
+
+    def outcome(self, experiment_id: str, seed: int) -> TaskOutcome:
+        for outcome in self.outcomes:
+            if outcome.experiment_id == experiment_id and outcome.seed == seed:
+                return outcome
+        raise ExperimentError(f"no outcome for {experiment_id!r} seed {seed}")
+
+
+def _execute_task(task: tuple[str, str, int]) -> TaskOutcome:
+    """Run one (experiment_id, scale, seed) task; must stay module-level
+    (and therefore picklable) so pool workers can receive it."""
+    experiment_id, scale, seed = task
+    events_before = events_processed_total()
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, scale=scale, seed=seed)
+    wall_clock = time.perf_counter() - started
+    payload = result.to_dict()
+    return TaskOutcome(
+        experiment_id=experiment_id,
+        scale=result.scale,
+        seed=seed,
+        payload=payload,
+        wall_clock=wall_clock,
+        events_processed=events_processed_total() - events_before,
+    )
+
+
+def run_sweep(
+    spec: SweepSpec,
+    store: Optional[ResultStore] = None,
+    jobs: int = 1,
+    progress: Optional[Callable[[TaskOutcome], None]] = None,
+) -> SweepReport:
+    """Execute a sweep, persist replicates, and aggregate each experiment.
+
+    ``jobs=1`` runs inline in this process; ``jobs>1`` fans tasks out to a
+    ``multiprocessing`` pool.  Either way, all writes happen in the parent,
+    in task order, so the store layout and bytes are independent of the
+    worker count.  Each replicate is persisted (and ``progress`` called) as
+    soon as it completes, so an interrupted or partially failed sweep keeps
+    every replicate finished before the failure.
+    """
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    tasks = spec.tasks()
+    outcomes: list[TaskOutcome] = []
+
+    def consume(outcome: TaskOutcome) -> None:
+        outcomes.append(outcome)
+        if store is not None:
+            store.save(
+                outcome.result,
+                seed=outcome.seed,
+                wall_clock=outcome.wall_clock,
+                events_processed=outcome.events_processed,
+            )
+        if progress is not None:
+            progress(outcome)
+
+    if jobs == 1:
+        for task in tasks:
+            consume(_execute_task(task))
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            # imap preserves task order while yielding each result as soon
+            # as its (in-order) predecessor has been consumed.
+            for outcome in pool.imap(_execute_task, tasks):
+                consume(outcome)
+
+    aggregates: list[ExperimentResult] = []
+    by_experiment: dict[str, list[TaskOutcome]] = {}
+    for outcome in outcomes:
+        by_experiment.setdefault(outcome.experiment_id, []).append(outcome)
+    for experiment_id in spec.experiment_ids:
+        group = by_experiment[experiment_id]
+        aggregate = aggregate_results([outcome.result for outcome in group])
+        aggregates.append(aggregate)
+        if store is not None:
+            store.write_aggregate(aggregate, [outcome.seed for outcome in group])
+
+    return SweepReport(
+        spec=spec,
+        outcomes=outcomes,
+        aggregates=aggregates,
+        wall_clock=time.perf_counter() - started,
+    )
+
+
+def run_and_store(
+    experiment_id: str, scale: str, seed: int, store: ResultStore
+) -> ExperimentResult:
+    """Run one experiment through the store (the ``run`` command's path).
+
+    Equivalent to a one-task sweep without aggregation: the replicate is
+    persisted as ``seed_<n>.json`` with manifest provenance, and the fresh
+    result is returned.
+    """
+    outcome = _execute_task((experiment_id, scale, seed))
+    store.save(
+        outcome.result,
+        seed=seed,
+        wall_clock=outcome.wall_clock,
+        events_processed=outcome.events_processed,
+    )
+    return outcome.result

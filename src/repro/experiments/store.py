@@ -1,0 +1,315 @@
+"""Structured, on-disk storage for experiment results.
+
+A :class:`ResultStore` persists every :class:`~repro.experiments.base.ExperimentResult`
+as JSON under a stable layout::
+
+    <root>/<experiment_id>/<scale>/seed_<n>.json    one file per replicate
+    <root>/<experiment_id>/<scale>/manifest.json    provenance + run stats
+    <root>/<experiment_id>/<scale>/aggregate.json   merged replicate table
+    <root>/<experiment_id>/<scale>/aggregate.csv    same table as CSV
+
+Per-seed files contain only the *deterministic* payload
+(:meth:`ExperimentResult.to_dict` plus the seed), serialised with sorted
+keys and fixed indentation, so re-running the same sweep spec yields
+byte-identical artifacts — the determinism contract the test suite checks.
+All volatile provenance (git revision, timestamps, wall-clock seconds,
+:func:`repro.sim.engine.events_processed_total` deltas) lives in
+``manifest.json`` instead.
+
+:func:`aggregate_results` merges replicate rows into a new table where
+every column that varies across seeds is replaced by ``_mean`` / ``_stdev``
+/ ``_ci95`` columns, ready to compare against the paper's Monte-Carlo
+aggregates.
+
+Examples::
+
+    from repro.experiments import run_experiment
+    from repro.experiments.store import ResultStore, aggregate_results
+
+    store = ResultStore("results")
+    for seed in range(4):
+        store.save(run_experiment("fig9", scale="smoke", seed=seed), seed=seed)
+    replicates = store.load_all("fig9", "smoke")
+    print(aggregate_results(replicates).table())
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import datetime
+import io
+import json
+import pathlib
+import subprocess
+from typing import Optional, Sequence, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult, ci95, mean, stdev
+
+#: statistic columns appended, in order, for every varying numeric column
+STAT_SUFFIXES = ("_mean", "_stdev", "_ci95")
+
+
+def git_revision(cwd: Union[str, pathlib.Path, None] = None) -> str:
+    """The current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip()
+
+
+@dataclasses.dataclass(frozen=True)
+class RunRecord:
+    """Provenance for one persisted replicate (one manifest entry)."""
+
+    seed: int
+    wall_clock: float  #: seconds spent inside run_experiment
+    events_processed: int  #: EventScheduler events executed by the run
+    rows: int  #: number of table rows in the artifact
+    written_at: str  #: ISO-8601 UTC timestamp of the save
+
+
+class ResultStore:
+    """Persist and reload experiment results under a root directory.
+
+    The store is write-through: :meth:`save` writes the per-seed JSON and
+    updates ``manifest.json`` in one call.  Reads never consult the
+    manifest, so a store survives manual deletion of manifests or seeds.
+    """
+
+    def __init__(self, root: Union[str, pathlib.Path]):
+        self.root = pathlib.Path(root)
+        self._git_rev: Optional[str] = None
+
+    @property
+    def git_rev(self) -> str:
+        """The checkout's commit hash, resolved once per store instance
+        (it cannot change mid-sweep, and ``rev-parse`` is a subprocess)."""
+        if self._git_rev is None:
+            self._git_rev = git_revision()
+        return self._git_rev
+
+    # ------------------------------------------------------------------ paths
+
+    def result_dir(self, experiment_id: str, scale: str) -> pathlib.Path:
+        """Directory holding one experiment/scale cell's artifacts."""
+        return self.root / experiment_id / scale
+
+    def seed_path(self, experiment_id: str, scale: str, seed: int) -> pathlib.Path:
+        """Path of one replicate's JSON artifact."""
+        return self.result_dir(experiment_id, scale) / f"seed_{seed}.json"
+
+    def manifest_path(self, experiment_id: str, scale: str) -> pathlib.Path:
+        """Path of the cell's provenance manifest."""
+        return self.result_dir(experiment_id, scale) / "manifest.json"
+
+    # ------------------------------------------------------------------ write
+
+    def save(
+        self,
+        result: ExperimentResult,
+        seed: int,
+        wall_clock: float = 0.0,
+        events_processed: int = 0,
+    ) -> pathlib.Path:
+        """Persist one replicate and record its provenance in the manifest.
+
+        The JSON artifact is deterministic (sorted keys, fixed indent, no
+        timestamps); wall-clock and event counts go only to the manifest.
+        """
+        payload = result.to_dict()
+        payload["seed"] = seed
+        path = self.seed_path(result.experiment_id, result.scale, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        self._record_run(
+            result.experiment_id,
+            result.scale,
+            RunRecord(
+                seed=seed,
+                wall_clock=round(wall_clock, 6),
+                events_processed=events_processed,
+                rows=len(result.rows),
+                written_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            ),
+        )
+        return path
+
+    def _record_run(self, experiment_id: str, scale: str, record: RunRecord) -> None:
+        manifest_path = self.manifest_path(experiment_id, scale)
+        manifest = self.manifest(experiment_id, scale)
+        if manifest is None:
+            manifest = {
+                "experiment_id": experiment_id,
+                "scale": scale,
+                "runs": {},
+            }
+        manifest["git_rev"] = self.git_rev
+        manifest["updated_at"] = record.written_at
+        manifest["runs"][f"seed_{record.seed}"] = dataclasses.asdict(record)
+        manifest_path.write_text(json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+
+    def write_aggregate(
+        self, aggregate: ExperimentResult, seeds: Sequence[int]
+    ) -> tuple[pathlib.Path, pathlib.Path]:
+        """Write ``aggregate.json`` and ``aggregate.csv`` for one cell."""
+        directory = self.result_dir(aggregate.experiment_id, aggregate.scale)
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = aggregate.to_dict()
+        payload["seeds"] = sorted(seeds)
+        json_path = directory / "aggregate.json"
+        json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        csv_path = directory / "aggregate.csv"
+        csv_path.write_text(result_to_csv(aggregate))
+        return json_path, csv_path
+
+    # ------------------------------------------------------------------- read
+
+    def manifest(self, experiment_id: str, scale: str) -> Optional[dict]:
+        """The cell's manifest dict, or None if nothing was saved yet."""
+        path = self.manifest_path(experiment_id, scale)
+        if not path.exists():
+            return None
+        return json.loads(path.read_text())
+
+    def seeds(self, experiment_id: str, scale: str) -> list[int]:
+        """Seeds with a persisted artifact for this cell, ascending."""
+        directory = self.result_dir(experiment_id, scale)
+        if not directory.is_dir():
+            return []
+        found = []
+        for path in directory.glob("seed_*.json"):
+            try:
+                found.append(int(path.stem.removeprefix("seed_")))
+            except ValueError:
+                continue
+        return sorted(found)
+
+    def load(self, experiment_id: str, scale: str, seed: int) -> ExperimentResult:
+        """Reload one replicate; raises :class:`ExperimentError` if missing."""
+        path = self.seed_path(experiment_id, scale, seed)
+        if not path.exists():
+            raise ExperimentError(f"no stored result at {path}")
+        return ExperimentResult.from_dict(json.loads(path.read_text()))
+
+    def load_all(self, experiment_id: str, scale: str) -> list[ExperimentResult]:
+        """Reload every replicate of a cell, in ascending seed order."""
+        return [
+            self.load(experiment_id, scale, seed)
+            for seed in self.seeds(experiment_id, scale)
+        ]
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_results(replicates: Sequence[ExperimentResult]) -> ExperimentResult:
+    """Merge replicate tables into one mean/stdev/CI table.
+
+    Replicates must share experiment id, scale, columns, and row count (the
+    runner guarantees this: same spec, different seeds).  When the result
+    declares ``key_columns`` (every registered experiment does), those
+    columns pass through unchanged and *every other numeric column* is
+    replaced by a ``_mean``/``_stdev``/``_ci95`` triple — so the aggregate
+    schema depends only on the experiment, never on which values the
+    sampled seeds happened to produce.  Results without ``key_columns``
+    fall back to a heuristic: columns identical across all replicates pass
+    through, varying numeric columns get the stat triple.  ``_ci95`` is the
+    half-width of the normal-approximation 95% confidence interval.
+    """
+    if not replicates:
+        raise ExperimentError("cannot aggregate zero replicates")
+    first = replicates[0]
+    for other in replicates[1:]:
+        if other.experiment_id != first.experiment_id or other.scale != first.scale:
+            raise ExperimentError(
+                f"cannot aggregate across cells: {first.experiment_id}/{first.scale} "
+                f"vs {other.experiment_id}/{other.scale}"
+            )
+        if other.columns != first.columns or len(other.rows) != len(first.rows):
+            raise ExperimentError(
+                f"replicates of {first.experiment_id} have mismatched shapes"
+            )
+
+    num_rows = len(first.rows)
+    num_cols = len(first.columns)
+    is_numeric = [
+        all(_is_number(r.rows[i][j]) for r in replicates for i in range(num_rows))
+        for j in range(num_cols)
+    ]
+    if first.key_columns:
+        unknown = set(first.key_columns) - set(first.columns)
+        if unknown:
+            raise ExperimentError(
+                f"key_columns {sorted(unknown)} not in columns of "
+                f"{first.experiment_id}"
+            )
+        is_key = [name in first.key_columns for name in first.columns]
+    else:
+        # Heuristic fallback: a column is a key column iff every row agrees
+        # across all replicates.
+        is_key = [
+            all(
+                all(r.rows[i][j] == first.rows[i][j] for r in replicates)
+                for i in range(num_rows)
+            )
+            for j in range(num_cols)
+        ]
+
+    columns: list[str] = []
+    for j, name in enumerate(first.columns):
+        if is_key[j]:
+            columns.append(name)
+        elif is_numeric[j]:
+            columns.extend(name + suffix for suffix in STAT_SUFFIXES)
+        else:
+            # Non-numeric and varying (should not happen for registered
+            # experiments); keep the first replicate's value.
+            columns.append(name)
+
+    rows: list[tuple] = []
+    for i in range(num_rows):
+        cells: list[object] = []
+        for j in range(num_cols):
+            if is_key[j] or not is_numeric[j]:
+                cells.append(first.rows[i][j])
+            else:
+                values = [r.rows[i][j] for r in replicates]
+                cells.extend(
+                    (
+                        round(mean(values), 6),
+                        round(stdev(values), 6),
+                        round(ci95(values), 6),
+                    )
+                )
+        rows.append(tuple(cells))
+
+    return ExperimentResult(
+        experiment_id=first.experiment_id,
+        title=first.title,
+        columns=tuple(columns),
+        rows=rows,
+        notes=f"aggregate of {len(replicates)} replicates; {first.notes}".rstrip("; "),
+        scale=first.scale,
+        key_columns=first.key_columns,
+    )
+
+
+def result_to_csv(result: ExperimentResult) -> str:
+    """Render a result as CSV text (header row + one line per table row)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.columns)
+    writer.writerows(result.rows)
+    return buffer.getvalue()

@@ -43,4 +43,5 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             f"replicas={LOOKUP_REPLICAS}; paper reports 8.78-9.63, growing with N"
         ),
         scale=resolved.name,
+        key_columns=('family', 'nodes'),
     )

@@ -45,6 +45,7 @@ def _run_family(family: str, experiment_id: str, title: str, scale, seed) -> Exp
         rows=rows,
         notes="success rate %; inserts with (30, 5); DS on",
         scale=resolved.name,
+        key_columns=('nodes', 'max_flows'),
     )
 
 

@@ -18,7 +18,7 @@ the MSPastry-style timed simulations are driven by the event engine here.
 
 from repro.sim.availability import AlwaysOnline, AvailabilityModel
 from repro.sim.counters import TrafficCounters
-from repro.sim.engine import Event, EventScheduler
+from repro.sim.engine import Event, EventScheduler, events_processed_total
 from repro.sim.latency import ConstantLatency, LatencyModel, UnderlayLatency
 from repro.sim.rng import derive_rng, derive_seed
 
@@ -33,4 +33,5 @@ __all__ = [
     "UnderlayLatency",
     "derive_rng",
     "derive_seed",
+    "events_processed_total",
 ]

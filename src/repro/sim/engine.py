@@ -14,6 +14,18 @@ from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 
+#: process-wide count of events executed by *all* scheduler instances.
+#: Experiments create many short-lived schedulers (one per timed lookup),
+#: so per-instance ``processed`` undercounts a whole run; the sweep runner
+#: snapshots this total around each task to record event counts in the
+#: result-store manifest.
+_TOTAL_PROCESSED = 0
+
+
+def events_processed_total() -> int:
+    """Events executed in this process, summed over every scheduler."""
+    return _TOTAL_PROCESSED
+
 
 class Event:
     """A scheduled callback.  Returned by :meth:`EventScheduler.schedule`.
@@ -108,12 +120,14 @@ class EventScheduler:
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
+        global _TOTAL_PROCESSED
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             self._now = event.time
             self._processed += 1
+            _TOTAL_PROCESSED += 1
             event.callback(*event.args)
             return True
         return False

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.cli import build_parser, main
@@ -31,6 +33,42 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig7", "--scale", "galactic"])
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig9"])
+        assert args.command == "sweep"
+        assert args.experiments == ["fig9"]
+        assert args.seeds == "0..9"
+        assert args.jobs == 1
+        assert args.format == "table"
+        assert str(args.out) == "results"
+
+    def test_sweep_with_options(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "fig9",
+                "tab1",
+                "--seeds",
+                "0..3",
+                "--jobs",
+                "2",
+                "--scale",
+                "smoke",
+                "--format",
+                "json",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert args.experiments == ["fig9", "tab1"]
+        assert args.seeds == "0..3"
+        assert args.jobs == 2
+        assert args.format == "json"
+
+    def test_sweep_bad_format_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "fig9", "--format", "xml"])
+
 
 class TestMain:
     def test_list_prints_experiments(self, capsys):
@@ -45,9 +83,87 @@ class TestMain:
         assert "expected_local_maxima" in output
         assert "completed in" in output
 
-    def test_run_writes_output_files(self, tmp_path, capsys):
-        assert main(["run", "fig8", "--scale", "smoke", "--out", str(tmp_path)]) == 0
+    def test_run_writes_seeded_artifacts(self, tmp_path, capsys):
+        assert main(["run", "fig8", "--scale", "smoke", "--seed", "2", "--out", str(tmp_path)]) == 0
         capsys.readouterr()
-        written = tmp_path / "fig8_smoke.txt"
+        written = tmp_path / "fig8_smoke_seed2.txt"
         assert written.exists()
         assert "expected_replicas" in written.read_text()
+        # the run also went through the result store
+        stored = tmp_path / "fig8" / "smoke" / "seed_2.json"
+        assert stored.exists()
+        assert (tmp_path / "fig8" / "smoke" / "manifest.json").exists()
+
+    def test_run_different_seeds_do_not_overwrite(self, tmp_path, capsys):
+        assert main(["run", "fig7", "--scale", "smoke", "--seed", "0", "--out", str(tmp_path)]) == 0
+        assert main(["run", "fig7", "--scale", "smoke", "--seed", "1", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "fig7_smoke_seed0.txt").exists()
+        assert (tmp_path / "fig7_smoke_seed1.txt").exists()
+
+
+class TestSweepMain:
+    def test_sweep_writes_store_and_prints_aggregate(self, tmp_path, capsys):
+        code = main(
+            [
+                "sweep",
+                "fig7",
+                "--seeds",
+                "0..2",
+                "--scale",
+                "smoke",
+                "--out",
+                str(tmp_path),
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["experiment_id"] == "fig7"
+        assert "swept 3 tasks" in captured.err
+        for seed in range(3):
+            assert (tmp_path / "fig7" / "smoke" / f"seed_{seed}.json").exists()
+        assert (tmp_path / "fig7" / "smoke" / "aggregate.json").exists()
+        assert (tmp_path / "fig7" / "smoke" / "aggregate.csv").exists()
+
+    def test_sweep_table_format(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0,1",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "fig7:" in output
+
+    def test_sweep_csv_format(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0..1",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                    "--format",
+                    "csv",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("nodes,") or "," in lines[0]

@@ -1,0 +1,165 @@
+"""Tests for the parallel sweep runner: seed parsing, spec validation,
+determinism under reruns and worker pools, and seed tightening."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import run_experiment
+from repro.experiments.runner import (
+    SweepSpec,
+    parse_seeds,
+    run_and_store,
+    run_sweep,
+)
+from repro.experiments.store import ResultStore
+
+
+def artifact_bytes(root):
+    """Map of relative path -> bytes for every deterministic artifact."""
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*.json")) + sorted(root.rglob("*.csv"))
+        if path.name != "manifest.json"  # manifests hold volatile timestamps
+    }
+
+
+class TestParseSeeds:
+    def test_single(self):
+        assert parse_seeds("7") == (7,)
+
+    def test_inclusive_range(self):
+        assert parse_seeds("0..3") == (0, 1, 2, 3)
+
+    def test_comma_list_sorted_deduped(self):
+        assert parse_seeds("5,1,3,1") == (1, 3, 5)
+
+    def test_negative_range(self):
+        assert parse_seeds("-2..0") == (-2, -1, 0)
+
+    @pytest.mark.parametrize("bad", ["", "a", "3..1", "1..b", "0.5"])
+    def test_rejects_bad_specs(self, bad):
+        with pytest.raises(ExperimentError):
+            parse_seeds(bad)
+
+
+class TestSweepSpec:
+    def test_tasks_cover_product_in_order(self):
+        spec = SweepSpec(("fig7", "fig8"), seeds=(0, 1), scale="smoke")
+        assert spec.tasks() == [
+            ("fig7", "smoke", 0),
+            ("fig7", "smoke", 1),
+            ("fig8", "smoke", 0),
+            ("fig8", "smoke", 1),
+        ]
+
+    def test_duplicates_collapsed(self):
+        spec = SweepSpec(("fig7", "fig7"), seeds=(0, 0, 1), scale="smoke")
+        assert spec.experiment_ids == ("fig7",)
+        assert spec.seeds == (0, 1)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown experiment"):
+            SweepSpec(("nope",), seeds=(0,), scale="smoke")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown scale"):
+            SweepSpec(("fig7",), seeds=(0,), scale="galactic")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ExperimentError, match="seed"):
+            SweepSpec(("fig7",), seeds=(0, "1"), scale="smoke")
+        with pytest.raises(ExperimentError, match="seed"):
+            SweepSpec(("fig7",), seeds=(True,), scale="smoke")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec((), seeds=(0,), scale="smoke")
+        with pytest.raises(ExperimentError):
+            SweepSpec(("fig7",), seeds=(), scale="smoke")
+
+
+class TestRegistrySeedValidation:
+    def test_string_seed_rejected(self):
+        with pytest.raises(ExperimentError, match="seed must be an int"):
+            run_experiment("fig7", scale="smoke", seed="0")
+
+    def test_bool_seed_rejected(self):
+        with pytest.raises(ExperimentError, match="seed must be an int"):
+            run_experiment("fig7", scale="smoke", seed=True)
+
+
+class TestRunSweep:
+    SPEC = SweepSpec(("fig7",), seeds=(0, 1), scale="smoke")
+
+    def test_report_outcomes_and_aggregate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        report = run_sweep(self.SPEC, store, jobs=1)
+        assert len(report.outcomes) == 2
+        assert [o.seed for o in report.outcomes] == [0, 1]
+        assert len(report.aggregates) == 1
+        assert report.aggregates[0].experiment_id == "fig7"
+        assert report.outcome("fig7", 1).seed == 1
+        with pytest.raises(ExperimentError):
+            report.outcome("fig7", 9)
+
+    def test_sweep_matches_direct_run(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(self.SPEC, store, jobs=1)
+        assert store.load("fig7", "smoke", 0) == run_experiment(
+            "fig7", scale="smoke", seed=0
+        )
+
+    def test_rerun_is_byte_identical(self, tmp_path):
+        first, second = ResultStore(tmp_path / "a"), ResultStore(tmp_path / "b")
+        run_sweep(self.SPEC, first, jobs=1)
+        run_sweep(self.SPEC, second, jobs=1)
+        a, b = artifact_bytes(tmp_path / "a"), artifact_bytes(tmp_path / "b")
+        assert a and a == b
+
+    def test_parallel_matches_serial(self, tmp_path):
+        serial, parallel = ResultStore(tmp_path / "s"), ResultStore(tmp_path / "p")
+        run_sweep(self.SPEC, serial, jobs=1)
+        run_sweep(self.SPEC, parallel, jobs=2)
+        s, p = artifact_bytes(tmp_path / "s"), artifact_bytes(tmp_path / "p")
+        assert s and s == p
+
+    def test_progress_called_in_task_order(self, tmp_path):
+        seen = []
+        run_sweep(
+            self.SPEC,
+            ResultStore(tmp_path),
+            jobs=1,
+            progress=lambda outcome: seen.append((outcome.experiment_id, outcome.seed)),
+        )
+        assert seen == [("fig7", 0), ("fig7", 1)]
+
+    def test_replicates_persisted_incrementally(self, tmp_path):
+        # each artifact must already be on disk when its progress fires, so
+        # an interrupted sweep keeps everything finished before the failure
+        store = ResultStore(tmp_path)
+
+        def check(outcome):
+            assert store.seed_path(
+                outcome.experiment_id, outcome.scale, outcome.seed
+            ).exists()
+
+        run_sweep(self.SPEC, store, jobs=2, progress=check)
+
+    def test_bad_jobs_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError, match="jobs"):
+            run_sweep(self.SPEC, ResultStore(tmp_path), jobs=0)
+
+    def test_storeless_sweep_still_aggregates(self):
+        report = run_sweep(self.SPEC, store=None, jobs=1)
+        assert len(report.aggregates) == 1
+
+
+class TestRunAndStore:
+    def test_persists_and_returns_result(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = run_and_store("fig7", "smoke", 4, store)
+        assert store.load("fig7", "smoke", 4) == result
+        manifest = store.manifest("fig7", "smoke")
+        assert "seed_4" in manifest["runs"]
