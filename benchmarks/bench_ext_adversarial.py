@@ -1,0 +1,23 @@
+"""Scenario-engine benchmark: adversarial (high-degree) vs random removal.
+
+Expected shape: success falls as the removed fraction grows under either
+targeting; removing the highest-degree nodes of the Pastry neighbor graph
+hurts at least as much as removing the same number of random nodes
+(Aspnes et al.'s targeted-deletion gap), and the zero-removal row is a
+fully-online baseline at 100%.
+"""
+
+
+def test_ext_adversarial(run_and_print):
+    result = run_and_print("ext-adversarial")
+    fractions = result.column("removed_fraction")
+    assert fractions == sorted(fractions)
+    if fractions[0] == 0.0:
+        # nothing removed: targeted and random arms are the same network
+        baseline = result.rows[0]
+        assert baseline[1:4] == baseline[4:7]
+        assert all(v >= 90.0 for v in baseline[1:])
+    for column in result.columns[1:]:
+        values = result.column(column)
+        assert all(0.0 <= v <= 100.0 for v in values)
+        assert values[-1] <= values[0]

@@ -1,0 +1,22 @@
+"""Scenario-engine benchmark: join storm over background flapping.
+
+Expected shape: pre-storm success falls with the storm fraction (that
+share of stage-1 replicas sits on not-yet-arrived nodes); post-storm
+phases recover toward the flapping-only baseline, with MSPastry's
+recovery delayed by rejoin thrash through flapping contacts.
+"""
+
+
+def test_ext_joinstorm(run_and_print):
+    result = run_and_print("ext-joinstorm")
+    fractions = sorted(set(result.column("storm_fraction")))
+    for column in ("MSPastry", "MPIL with DS", "MPIL without DS"):
+        index = result.columns.index(column)
+        # pre-storm success is non-increasing in the storm fraction
+        pre = [result.filtered(storm_fraction=f, phase="pre")[0][index] for f in fractions]
+        assert all(later <= earlier for earlier, later in zip(pre, pre[1:]))
+        # steady state beats the storm's pre phase at the largest fraction
+        steady = result.filtered(storm_fraction=fractions[-1], phase="steady")[0][index]
+        assert steady >= pre[-1]
+        for row in result.rows:
+            assert 0.0 <= row[index] <= 100.0

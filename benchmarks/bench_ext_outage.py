@@ -1,0 +1,21 @@
+"""Scenario-engine benchmark: correlated regional outage composed over
+background flapping (severity sweep).
+
+Expected shape: lookup success during the outage window falls as more
+transit-stub regions go dark, for every protocol variant; at severity 1.0
+only replicas held by the exempt client remain reachable, so success
+collapses toward zero.
+"""
+
+
+def test_ext_outage(run_and_print):
+    result = run_and_print("ext-outage")
+    severities = result.column("outage_severity")
+    assert severities == sorted(severities)
+    assert severities[0] == 0.0 and severities[-1] == 1.0
+    for column in ("MSPastry", "MPIL with DS", "MPIL without DS"):
+        values = result.column(column)
+        assert all(0.0 <= v <= 100.0 for v in values)
+        # a full regional blackout must cost most of the baseline success
+        assert values[-1] <= values[0]
+        assert values[-1] <= 0.5 * max(values[0], 1.0)

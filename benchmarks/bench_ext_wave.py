@@ -1,0 +1,24 @@
+"""Scenario-engine benchmark: churn waves (surging join/leave rates at
+fixed 50% long-run availability).
+
+Expected shape: availability-dominated success in the same band as plain
+churn; the in-wave columns show surge damage growing with intensity while
+the intensity-1 row matches steady churn.
+"""
+
+
+def test_ext_wave(run_and_print):
+    result = run_and_print("ext-wave")
+    intensities = result.column("wave_intensity")
+    assert intensities == sorted(intensities)
+    assert intensities[0] == 1.0
+    for column in (
+        "MSPastry",
+        "MPIL with DS",
+        "MPIL without DS",
+        "MSPastry (in wave)",
+        "MPIL with DS (in wave)",
+        "MPIL without DS (in wave)",
+    ):
+        values = result.column(column)
+        assert all(0.0 <= v <= 100.0 for v in values)

@@ -1,8 +1,11 @@
-"""Command-line interface: ``mpil-experiments list|run|sweep ...``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep ...``.
 
-Three commands:
+Four commands:
 
 - ``list`` — show every registered experiment id and title;
+- ``scenarios`` — show the perturbation-scenario catalogue (one line per
+  availability-process family with its registered experiment), one
+  family's details, or a figure's flapping sweep cells;
 - ``run``  — run experiments one seed at a time, print their tables, and
   (with ``--out``) persist each replicate through the result store plus a
   legacy ``<id>_<scale>_seed<seed>.txt`` table;
@@ -19,6 +22,9 @@ byte-identical across reruns of the same spec, regardless of ``--jobs``.
 Examples::
 
     mpil-experiments list
+    mpil-experiments scenarios
+    mpil-experiments scenarios regional-outage
+    mpil-experiments scenarios --figure fig11
     mpil-experiments run fig9 --scale smoke
     mpil-experiments run all --scale default --out results/
     mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format json
@@ -37,11 +43,12 @@ import sys
 import time
 from typing import Optional, Sequence
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.registry import all_experiment_ids, get_experiment, run_experiment
 from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sweep
 from repro.experiments.scales import SCALES
 from repro.experiments.store import ResultStore, result_to_csv
+from repro.perturbation.scenario import get_family, scenario_families, scenarios_for
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,6 +59,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+
+    scenarios_parser = sub.add_parser(
+        "scenarios", help="show the perturbation-scenario catalogue"
+    )
+    scenarios_parser.add_argument(
+        "family",
+        nargs="?",
+        default=None,
+        help="scenario family to detail (e.g. regional-outage)",
+    )
+    scenarios_parser.add_argument(
+        "--figure",
+        default=None,
+        help="list the paper's flapping sweep cells for a figure (fig1, fig11)",
+    )
 
     run_parser = sub.add_parser("run", help="run one or more experiments")
     run_parser.add_argument(
@@ -123,6 +145,30 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.figure is not None and args.family is not None:
+        raise ConfigurationError(
+            f"give either a scenario family ({args.family!r}) or --figure "
+            f"({args.figure!r}), not both"
+        )
+    if args.figure is not None:
+        for cell in scenarios_for(args.figure):
+            print(f"{args.figure}  {cell.period_label:>8s}  p={cell.probability}")
+        return 0
+    if args.family is not None:
+        family = get_family(args.family)
+        print(f"{family.name}: {family.summary}")
+        print(f"  process:    repro.perturbation.{family.process}")
+        if family.experiment_id is not None:
+            print(f"  experiment: {family.experiment_id} (run it via "
+                  f"`sweep {family.experiment_id} --seeds 0..9`)")
+        return 0
+    for family in scenario_families():
+        experiment = family.experiment_id or "-"
+        print(f"{family.name:20s} {experiment:16s} {family.summary}")
+    return 0
+
+
 def _requested_ids(experiments: Sequence[str]) -> list[str]:
     requested = list(experiments)
     if requested == ["all"]:
@@ -190,10 +236,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if args.command == "list":
             return _cmd_list()
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
         if args.command == "run":
             return _cmd_run(args)
         return _cmd_sweep(args)
-    except ExperimentError as exc:
+    except (ExperimentError, ConfigurationError) as exc:
+        # one line per expected user-facing error (unknown ids/scenarios,
+        # bad seed specs, invalid scenario compositions), never a traceback;
+        # internal-bug classes (RoutingError, SimulationError, ...) still
+        # propagate with their stack
         print(f"mpil-experiments {args.command}: error: {exc}", file=sys.stderr)
         return 2
 

@@ -1,0 +1,148 @@
+"""Extension experiment: join storm over background flapping.
+
+A ``storm_fraction`` of the population is absent from the start of stage 2
+and arrives *simultaneously* one third of the way through the lookup
+sequence — a flash-crowd / post-outage-restart event.  The storm composes
+with the paper's background flapping (30:30 at probability 0.3) via
+:class:`~repro.perturbation.timeline.ScenarioTimeline`, which is what makes
+it hard: every arrival must rejoin MSPastry through contacts that are
+themselves flapping
+(:class:`~repro.pastry.rejoin.IntervalRejoinAvailability`), so recovery
+staggers; MPIL's arrivals simply start answering.  Insertion is stressed
+from the other side — stage-1 replicas parked on not-yet-arrived nodes are
+unreachable until the storm lands.
+
+Success is reported per (storm fraction, phase) cell: ``pre`` (before the
+storm), ``recovery`` (the third right after it), and ``steady`` (the rest).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.perturbed import (
+    MPIL_MAX_FLOWS,
+    MPIL_PER_FLOW_REPLICAS,
+    PerturbationTestbed,
+    build_testbed,
+    iter_stage2_lookups,
+)
+from repro.experiments.scales import get_scale
+from repro.pastry.rejoin import IntervalRejoinAvailability
+from repro.pastry.views import ProbedViewOracle
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.perturbation.storms import JoinStormConfig, JoinStormSchedule
+from repro.perturbation.timeline import ScenarioTimeline
+
+EXPERIMENT_ID = "ext-joinstorm"
+TITLE = "Extension: join storm over background flapping (recovery by phase)"
+
+FLAP_LABEL = "30:30"
+FLAP_PROBABILITY = 0.3
+LOOKUP_SPACING = 60.0
+PHASES = ("pre", "recovery", "steady")
+
+
+def _phase_bounds(num_lookups: int) -> dict[str, tuple[int, int]]:
+    """Lookup-index windows for the three phases."""
+    if num_lookups < 3:
+        raise ExperimentError(
+            f"ext-joinstorm needs at least 3 lookups to form pre/recovery/"
+            f"steady phases, got {num_lookups}"
+        )
+    n1 = max(1, num_lookups // 3)
+    n2 = max(n1 + 1, (2 * num_lookups) // 3)
+    return {
+        "pre": (0, n1),
+        "recovery": (n1, n2),
+        "steady": (n2, num_lookups),
+    }
+
+
+def _run_variant(
+    testbed: PerturbationTestbed,
+    schedule: ScenarioTimeline,
+    variant: str,
+    num_lookups: int,
+    bounds: dict[str, tuple[int, int]],
+) -> dict[str, float]:
+    """Per-phase success rates in percent."""
+    availability, views = schedule, None
+    if variant == "pastry":
+        availability = IntervalRejoinAvailability(
+            schedule, testbed.pastry.config, seed=(testbed.seed, "storm-rejoin")
+        )
+        views = ProbedViewOracle(
+            availability, testbed.pastry.config, seed=(testbed.seed, "storm-views")
+        )
+    successes = {phase: 0 for phase in PHASES}
+    for i, success in iter_stage2_lookups(
+        testbed, variant, range(num_lookups), LOOKUP_SPACING, availability, views
+    ):
+        for phase, (lo, hi) in bounds.items():
+            if lo <= i < hi:
+                successes[phase] += int(success)
+    return {
+        phase: 100.0 * successes[phase] / (bounds[phase][1] - bounds[phase][0])
+        for phase in PHASES
+    }
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    resolved = get_scale(scale)
+    testbed = build_testbed(
+        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+    )
+    num_lookups = resolved.perturbed_lookups
+    bounds = _phase_bounds(num_lookups)
+    # the storm lands just before the first "recovery" lookup
+    arrival = LOOKUP_SPACING * (bounds["recovery"][0] + 0.5)
+    flapping = FlappingSchedule(
+        FlappingConfig.from_label(FLAP_LABEL, FLAP_PROBABILITY),
+        testbed.pastry.n,
+        seed=(seed, "storm-flap"),
+        always_online={testbed.client},
+    )
+    rows = []
+    for fraction in resolved.storm_fractions:
+        storm = JoinStormSchedule(
+            JoinStormConfig(arrival_time=arrival, late_fraction=fraction),
+            testbed.pastry.n,
+            seed=(seed, "storm", fraction),
+            always_online={testbed.client},
+        )
+        schedule = ScenarioTimeline([flapping, storm])
+        pastry = _run_variant(testbed, schedule, "pastry", num_lookups, bounds)
+        ds = _run_variant(testbed, schedule, "mpil-ds", num_lookups, bounds)
+        nods = _run_variant(testbed, schedule, "mpil-nods", num_lookups, bounds)
+        for phase in PHASES:
+            rows.append(
+                (
+                    fraction,
+                    phase,
+                    round(pastry[phase], 1),
+                    round(ds[phase], 1),
+                    round(nods[phase], 1),
+                )
+            )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=(
+            "storm_fraction",
+            "phase",
+            "MSPastry",
+            "MPIL with DS",
+            "MPIL without DS",
+        ),
+        rows=rows,
+        notes=(
+            f"storm_fraction of nodes absent until t={arrival:g}s, arriving at "
+            f"once over {FLAP_LABEL} flapping at p={FLAP_PROBABILITY}; MSPastry "
+            f"arrivals rejoin through flapping contacts; MPIL at "
+            f"({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); lookups every "
+            f"{LOOKUP_SPACING:g}s"
+        ),
+        scale=resolved.name,
+        key_columns=("storm_fraction", "phase"),
+    )

@@ -1,0 +1,130 @@
+"""Extension experiment: lookup success under churn waves.
+
+Real churn is not stationary: diurnal cycles and flash events produce
+waves where join/leave rates surge together.  This experiment holds
+long-run availability at 50% (mean session = mean downtime = 300 s) and
+sweeps the wave *intensity* — the rate multiplier in force for 150 s out
+of every 600 s — so the population's availability stays constant while
+churn speed periodically spikes.  Success is reported both overall and for
+the lookups issued inside wave windows, separating steady-state staleness
+from surge damage.
+
+As in ``ext-churn``, MSPastry runs with probed views (maintenance) and no
+rejoin model (view staleness isolated); MPIL runs with no maintenance.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.perturbed import (
+    MPIL_MAX_FLOWS,
+    MPIL_PER_FLOW_REPLICAS,
+    PerturbationTestbed,
+    build_testbed,
+    iter_stage2_lookups,
+)
+from repro.experiments.scales import get_scale
+from repro.pastry.views import ProbedViewOracle
+from repro.perturbation.waves import ChurnWaveConfig, ChurnWaveSchedule
+
+EXPERIMENT_ID = "ext-wave"
+TITLE = "Extension: success under churn waves (50% availability, surging rates)"
+
+MEAN_SESSION = 300.0
+MEAN_DOWNTIME = 300.0
+WAVE_PERIOD = 600.0
+WAVE_DURATION = 150.0
+LOOKUP_SPACING = 60.0
+
+
+def _in_wave(time: float) -> bool:
+    return time % WAVE_PERIOD < WAVE_DURATION
+
+
+def _run_variant(
+    testbed: PerturbationTestbed,
+    schedule: ChurnWaveSchedule,
+    variant: str,
+    num_lookups: int,
+) -> tuple[float, float]:
+    """(overall, in-wave) success rates in percent."""
+    views = None
+    if variant == "pastry":
+        views = ProbedViewOracle(
+            schedule, testbed.pastry.config, seed=(testbed.seed, "wave-views")
+        )
+    successes = in_wave_successes = in_wave_total = 0
+    for i, success in iter_stage2_lookups(
+        testbed, variant, range(num_lookups), LOOKUP_SPACING, schedule, views
+    ):
+        successes += int(success)
+        if _in_wave(LOOKUP_SPACING * (i + 1)):
+            in_wave_total += 1
+            in_wave_successes += int(success)
+    overall = 100.0 * successes / num_lookups
+    in_wave = 100.0 * in_wave_successes / in_wave_total if in_wave_total else 0.0
+    return overall, in_wave
+
+
+def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
+    resolved = get_scale(scale)
+    testbed = build_testbed(
+        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+    )
+    rows = []
+    for intensity in resolved.wave_intensities:
+        config = ChurnWaveConfig(
+            mean_session=MEAN_SESSION,
+            mean_downtime=MEAN_DOWNTIME,
+            wave_period=WAVE_PERIOD,
+            wave_duration=WAVE_DURATION,
+            intensity=intensity,
+        )
+        schedule = ChurnWaveSchedule(
+            config,
+            testbed.pastry.n,
+            seed=(seed, "wave", intensity),
+            always_online={testbed.client},
+        )
+        pastry_all, pastry_wave = _run_variant(
+            testbed, schedule, "pastry", resolved.perturbed_lookups
+        )
+        ds_all, ds_wave = _run_variant(
+            testbed, schedule, "mpil-ds", resolved.perturbed_lookups
+        )
+        nods_all, nods_wave = _run_variant(
+            testbed, schedule, "mpil-nods", resolved.perturbed_lookups
+        )
+        rows.append(
+            (
+                intensity,
+                round(pastry_all, 1),
+                round(ds_all, 1),
+                round(nods_all, 1),
+                round(pastry_wave, 1),
+                round(ds_wave, 1),
+                round(nods_wave, 1),
+            )
+        )
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        columns=(
+            "wave_intensity",
+            "MSPastry",
+            "MPIL with DS",
+            "MPIL without DS",
+            "MSPastry (in wave)",
+            "MPIL with DS (in wave)",
+            "MPIL without DS (in wave)",
+        ),
+        rows=rows,
+        notes=(
+            f"wave churn at 50% availability ({MEAN_SESSION:g}s/{MEAN_DOWNTIME:g}s), "
+            f"rates x intensity for {WAVE_DURATION:g}s every {WAVE_PERIOD:g}s; "
+            f"MPIL at ({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); lookups every "
+            f"{LOOKUP_SPACING:g}s; rejoin model not applied (view staleness isolated)"
+        ),
+        scale=resolved.name,
+        key_columns=("wave_intensity",),
+    )

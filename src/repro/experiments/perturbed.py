@@ -32,6 +32,7 @@ from repro.pastry.protocol import PastryNetwork
 from repro.pastry.rejoin import RejoinAdjustedAvailability
 from repro.pastry.views import ProbedViewOracle
 from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.perturbation.outage import regions_from_attachment
 from repro.sim.counters import TrafficCounters
 from repro.sim.latency import UnderlayLatency
 from repro.sim.rng import derive_rng
@@ -63,6 +64,9 @@ class PerturbationTestbed:
     objects_rr: list[Identifier]
     objects_mpil: list[Identifier]
     seed: object
+    #: transit domain of each overlay node's underlay attachment — the
+    #: region key for correlated outages (``ext-outage``)
+    regions: list[int] = dataclasses.field(default_factory=list)
 
 
 def build_testbed(
@@ -111,7 +115,51 @@ def build_testbed(
         objects_rr=objects_rr,
         objects_mpil=objects_mpil,
         seed=seed,
+        regions=regions_from_attachment(underlay, attachment),
     )
+
+
+def iter_stage2_lookups(
+    testbed: PerturbationTestbed,
+    variant: str,
+    indices,
+    spacing: float,
+    availability,
+    views=None,
+):
+    """Yield ``(lookup_index, success)`` for one variant's stage-2 lookups.
+
+    The shared harness behind the scenario (``ext_*``) experiments: lookup
+    ``i`` is issued at ``spacing * (i + 1)`` for the ``i``-th stage-1
+    object.  ``availability`` is whatever the variant should see — the raw
+    scenario schedule for MPIL (no maintenance), a view-oracle'd and
+    possibly rejoin-adjusted model for Pastry; callers own that wiring
+    (and its seed labels) so each experiment's streams stay distinct.
+    """
+    if variant not in ALL_VARIANTS:
+        raise ExperimentError(f"unknown variant {variant!r}")
+    if variant in PASTRY_VARIANTS:
+        objects = testbed.objects_plain if variant == "pastry" else testbed.objects_rr
+        for i in indices:
+            outcome = testbed.pastry.lookup(
+                testbed.client,
+                objects[i % len(objects)],
+                start_time=spacing * (i + 1),
+                availability=availability,
+                views=views,
+            )
+            yield i, bool(outcome.success)
+    else:
+        testbed.mpil.availability = availability
+        suppress = variant == "mpil-ds"
+        for i in indices:
+            outcome = testbed.mpil.lookup_at(
+                testbed.client,
+                testbed.objects_mpil[i % len(testbed.objects_mpil)],
+                start_time=spacing * (i + 1),
+                duplicate_suppression=suppress,
+            )
+            yield i, bool(outcome.success)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -8,7 +8,11 @@ from repro.errors import ExperimentError
 from repro.experiments import (
     ablations,
     baseline_comparison,
+    ext_adversarial,
     ext_churn,
+    ext_joinstorm,
+    ext_outage,
+    ext_wave,
     fig01_pastry_perturbation,
     fig07_local_maxima,
     fig08_complete_replicas,
@@ -58,6 +62,10 @@ _REGISTRY: dict[str, tuple[str, RunFunction]] = {
     ),
     "baseline-comparison": (baseline_comparison.TITLE, baseline_comparison.run),
     "ext-churn": (ext_churn.TITLE, ext_churn.run),
+    "ext-outage": (ext_outage.TITLE, ext_outage.run),
+    "ext-wave": (ext_wave.TITLE, ext_wave.run),
+    "ext-joinstorm": (ext_joinstorm.TITLE, ext_joinstorm.run),
+    "ext-adversarial": (ext_adversarial.TITLE, ext_adversarial.run),
 }
 
 

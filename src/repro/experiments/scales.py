@@ -33,6 +33,13 @@ class Scale:
     perturbed_inserts: int
     perturbed_lookups: int
     flap_probabilities: tuple[float, ...]
+    # scenario-engine extension sweeps (ext-outage, ext-wave,
+    # ext-joinstorm, ext-adversarial); defaulted so hand-rolled Scale
+    # objects predating the scenario engine keep working
+    outage_severities: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0)
+    wave_intensities: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
+    storm_fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
+    removal_fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4)
 
 
 _FULL_PROBS = tuple(round(0.1 * i, 1) for i in range(1, 11))
@@ -50,6 +57,10 @@ SCALES: dict[str, Scale] = {
         perturbed_inserts=25,
         perturbed_lookups=25,
         flap_probabilities=(0.2, 0.6, 1.0),
+        outage_severities=(0.0, 0.5, 1.0),
+        wave_intensities=(1.0, 4.0),
+        storm_fractions=(0.3, 0.6),
+        removal_fractions=(0.0, 0.2, 0.4),
     ),
     "default": Scale(
         name="default",
@@ -76,6 +87,10 @@ SCALES: dict[str, Scale] = {
         perturbed_inserts=1000,
         perturbed_lookups=1000,
         flap_probabilities=_FULL_PROBS,
+        outage_severities=tuple(round(0.1 * i, 1) for i in range(0, 11)),
+        wave_intensities=(1.0, 2.0, 4.0, 8.0, 16.0),
+        storm_fractions=(0.1, 0.2, 0.4, 0.6, 0.8),
+        removal_fractions=tuple(round(0.05 * i, 2) for i in range(0, 10)),
     ),
 }
 

@@ -18,15 +18,66 @@ is a drop-in :class:`~repro.sim.availability.AvailabilityModel` for the
 *Pastry-layer* protocol and its probed views.  MPIL-over-Pastry runs no
 maintenance, never declares failures, and therefore keeps using the raw
 schedule (a returning node simply answers again).
+
+``IntervalRejoinAvailability`` generalizes the same eviction + rejoin
+semantics to *any* :class:`~repro.perturbation.base.AvailabilityProcess`
+that reports its offline windows — join storms, regional outages, and
+composed :class:`~repro.perturbation.timeline.ScenarioTimeline` scenarios —
+by reading completed offline episodes from ``offline_intervals`` instead of
+flapping cycle indices.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 
 from repro.pastry.config import PastryConfig
 from repro.perturbation.flapping import FlappingSchedule
-from repro.sim.rng import derive_rng
+from repro.sim.rng import derive_rng, validate_seed
+
+
+def detection_horizon(config: PastryConfig) -> float:
+    """Offline time after which a node is declared failed and evicted:
+    ``failure_eviction_rounds`` missed leafset probe rounds plus the
+    timeout tail of the last probe attempt."""
+    return (
+        config.failure_eviction_rounds * config.leafset_probe_period
+        + (config.probe_retries + 1) * config.probe_timeout
+    )
+
+
+def _attempt_rejoins(
+    is_online,
+    num_nodes: int,
+    seed: object,
+    stream: str,
+    node: int,
+    episode_key: object,
+    recovery: float,
+    period: float,
+    join_contacts: int,
+    max_attempts: int,
+) -> float:
+    """Completion time of a rejoin starting at ``recovery``.
+
+    Attempts run every ``period`` from recovery; each draws
+    ``join_contacts`` hash-chosen bootstrap contacts from the named stream
+    and succeeds when all are online under ``is_online``.  Shared by both
+    rejoin models; ``stream``/``episode_key`` keep their RNG label paths
+    distinct and stable.
+    """
+    for attempt in range(max_attempts):
+        at = recovery + attempt * period
+        rng = derive_rng(seed, stream, node, episode_key, attempt)
+        contacts: list[int] = []
+        while len(contacts) < min(join_contacts, num_nodes - 1):
+            candidate = rng.randrange(num_nodes)
+            if candidate != node and candidate not in contacts:
+                contacts.append(candidate)
+        if all(is_online(c, at) for c in contacts):
+            return at
+    return recovery + max_attempts * period  # pessimistic cap
 
 
 class RejoinAdjustedAvailability:
@@ -47,13 +98,7 @@ class RejoinAdjustedAvailability:
         self.join_contacts = join_contacts
         self.max_attempts = max_attempts
         self.scan_cycles = scan_cycles
-        # Detection horizon: missing `failure_eviction_rounds` consecutive
-        # leafset probe rounds (plus the timeout tail) gets a node declared
-        # failed and evicted.
-        self.eviction_threshold = (
-            config.failure_eviction_rounds * config.leafset_probe_period
-            + (config.probe_retries + 1) * config.probe_timeout
-        )
+        self.eviction_threshold = detection_horizon(config)
         flap = schedule.config
         self._evictions_possible = (
             flap.probability > 0 and flap.offline_period >= self.eviction_threshold
@@ -114,19 +159,120 @@ class RejoinAdjustedAvailability:
             return cached
         flap = self.schedule.config
         recovery = self.schedule.phase(node) + (episode + 1) * flap.cycle
-        period = self.pastry_config.leafset_probe_period
-        n = self.schedule.num_nodes
-        completion = recovery + self.max_attempts * period  # pessimistic cap
-        for attempt in range(self.max_attempts):
-            at = recovery + attempt * period
-            rng = derive_rng(self.seed, "rejoin", node, episode, attempt)
-            contacts = []
-            while len(contacts) < min(self.join_contacts, n - 1):
-                candidate = rng.randrange(n)
-                if candidate != node and candidate not in contacts:
-                    contacts.append(candidate)
-            if all(self.schedule.is_online(c, at) for c in contacts):
-                completion = at
-                break
+        completion = _attempt_rejoins(
+            self.schedule.is_online,
+            self.schedule.num_nodes,
+            self.seed,
+            "rejoin",
+            node,
+            episode,
+            recovery,
+            self.pastry_config.leafset_probe_period,
+            self.join_contacts,
+            self.max_attempts,
+        )
+        self._rejoin_cache[key] = completion
+        return completion
+
+
+class IntervalRejoinAvailability:
+    """Eviction + rejoin semantics over any interval-reporting process.
+
+    A node whose offline window lasted at least the failure-detection
+    horizon is declared failed and evicted; when the window ends, the node
+    is effectively absent from the Pastry layer until a rejoin attempt —
+    retried every leafset probe period through hash-chosen bootstrap
+    contacts — finds all contacts online.  This is
+    :class:`RejoinAdjustedAvailability` with the flapping-specific episode
+    arithmetic replaced by the process's own
+    ``offline_intervals(node, until)`` report, so join storms, regional
+    outages, and composed timelines all get MSPastry's recovery cost.
+    """
+
+    def __init__(
+        self,
+        process,
+        config: PastryConfig = PastryConfig(),
+        seed: int | tuple = 0,
+        join_contacts: int = 3,
+        max_attempts: int = 64,
+    ):
+        validate_seed(seed)
+        self.process = process
+        self.pastry_config = config
+        self.seed = seed
+        self.join_contacts = join_contacts
+        self.max_attempts = max_attempts
+        self.eviction_threshold = detection_horizon(config)
+        #: node -> (horizon, sorted finite end times of eviction-length
+        #: windows with start < horizon); see _recoveries_until
+        self._recovery_cache: dict[int, tuple[float, list[float]]] = {}
+        self._rejoin_cache: dict[tuple[int, float], float] = {}
+
+    @property
+    def num_nodes(self) -> int:
+        return self.process.num_nodes
+
+    @property
+    def always_online(self) -> frozenset[int]:
+        return frozenset(self.process.always_online)
+
+    def _recoveries_until(self, node: int, time: float) -> list[float]:
+        """Sorted end times of eviction-length offline windows, memoized
+        with a geometrically grown horizon.
+
+        Rebuilding the process's window list from t=0 per availability
+        query would be quadratic in simulation time; window lists are
+        append-only as the horizon grows (only the tail window's end can
+        move, and any query at or past a moved end sees the node offline
+        via the point view first), so a cached horizon stays consistent.
+        """
+        cached = self._recovery_cache.get(node)
+        if cached is not None and time <= cached[0]:
+            return cached[1]
+        horizon = max(time, 2.0 * (cached[0] if cached else 0.0), 1.0)
+        recoveries = [
+            end
+            for start, end in self.process.offline_intervals(node, horizon)
+            if end - start >= self.eviction_threshold and not math.isinf(end)
+        ]
+        self._recovery_cache[node] = (horizon, recoveries)
+        return recoveries
+
+    def is_online(self, node: int, time: float) -> bool:
+        """Pastry-layer availability: genuinely online *and* joined."""
+        if not self.process.is_online(node, time):
+            return False
+        if node in self.process.always_online:
+            return True
+        # Most recent completed eviction-length window decides; later,
+        # shorter windows never re-trigger eviction.
+        recoveries = self._recoveries_until(node, time)
+        index = bisect.bisect_right(recoveries, time) - 1
+        if index < 0:
+            return True
+        return time >= self._rejoin_completion(node, recoveries[index])
+
+    def _rejoin_completion(self, node: int, recovery: float) -> float:
+        """Time the node's rejoin after the offline window ending at
+        ``recovery`` completes.  Attempts run every leafset probe period
+        from recovery; an attempt succeeds when all bootstrap contacts are
+        online."""
+        key = (node, recovery)
+        cached = self._rejoin_cache.get(key)
+        if cached is not None:
+            return cached
+        completion = _attempt_rejoins(
+            self.process.is_online,
+            self.process.num_nodes,
+            self.seed,
+            "interval-rejoin",
+            node,
+            recovery,
+            recovery,
+            self.pastry_config.leafset_probe_period,
+            self.join_contacts,
+            self.max_attempts,
+        )
         self._rejoin_cache[key] = completion
         return completion

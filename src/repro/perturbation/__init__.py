@@ -1,4 +1,4 @@
-"""Perturbation (flapping) models.
+"""Perturbation models and the composable scenario engine.
 
 The paper models perturbation as periodic flapping: "A perturbed node
 periodically flaps between being offline and being idle (online).  At the
@@ -7,17 +7,62 @@ online during the period.  At the beginning of the offline period, however,
 each node decides whether to go offline or to stay online based on the
 flapping probability.  Each node randomly picks its very first beginning of
 the flapping period."
+
+Beyond flapping, this package implements the broader perturbation families
+that break discovery overlays in practice — continuous-time churn, churn
+waves, correlated regional outages, join storms, and adversarial removal —
+all behind one :class:`~repro.perturbation.base.AvailabilityProcess`
+contract, composable via
+:class:`~repro.perturbation.timeline.ScenarioTimeline`.
 """
 
+from repro.perturbation.adversarial import (
+    AdversarialRemoval,
+    AdversarialRemovalConfig,
+)
+from repro.perturbation.base import AvailabilityProcess, merge_intervals
 from repro.perturbation.churn import ChurnConfig, ChurnSchedule
 from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
-from repro.perturbation.scenario import PERIOD_CONFIGS, PerturbationScenario
+from repro.perturbation.outage import (
+    RegionalOutage,
+    RegionalOutageConfig,
+    regions_from_attachment,
+)
+from repro.perturbation.scenario import (
+    PERIOD_CONFIGS,
+    SCENARIO_FAMILIES,
+    PerturbationScenario,
+    ScenarioFamily,
+    get_family,
+    scenario_families,
+    scenarios_for,
+)
+from repro.perturbation.storms import JoinStormConfig, JoinStormSchedule
+from repro.perturbation.timeline import ScenarioTimeline
+from repro.perturbation.waves import ChurnWaveConfig, ChurnWaveSchedule
 
 __all__ = [
+    "AdversarialRemoval",
+    "AdversarialRemovalConfig",
+    "AvailabilityProcess",
     "ChurnConfig",
     "ChurnSchedule",
+    "ChurnWaveConfig",
+    "ChurnWaveSchedule",
     "FlappingConfig",
     "FlappingSchedule",
+    "JoinStormConfig",
+    "JoinStormSchedule",
     "PERIOD_CONFIGS",
     "PerturbationScenario",
+    "RegionalOutage",
+    "RegionalOutageConfig",
+    "SCENARIO_FAMILIES",
+    "ScenarioFamily",
+    "ScenarioTimeline",
+    "get_family",
+    "merge_intervals",
+    "regions_from_attachment",
+    "scenario_families",
+    "scenarios_for",
 ]

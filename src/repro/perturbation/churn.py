@@ -21,7 +21,8 @@ import bisect
 import dataclasses
 
 from repro.errors import ConfigurationError
-from repro.sim.rng import derive_rng
+from repro.perturbation.base import ProcessBase
+from repro.sim.rng import derive_rng, validate_seed
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,18 +49,24 @@ class ChurnConfig:
         return f"churn({self.mean_session:g}s up / {self.mean_downtime:g}s down)"
 
 
-class ChurnSchedule:
-    """Per-node alternating exponential on/off renewal process."""
+class ChurnSchedule(ProcessBase):
+    """Per-node alternating exponential on/off renewal process.
+
+    Subclasses may override :meth:`_interval_mean` to make the rates
+    time-varying (see :class:`repro.perturbation.waves.ChurnWaveSchedule`);
+    the boundary/interval machinery is shared.
+    """
 
     def __init__(
         self,
         config: ChurnConfig,
         num_nodes: int,
-        seed: object = 0,
+        seed: int | tuple = 0,
         always_online: frozenset[int] | set[int] = frozenset(),
     ):
         if num_nodes < 1:
             raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        validate_seed(seed)
         self.config = config
         self.num_nodes = num_nodes
         self.seed = seed
@@ -72,15 +79,19 @@ class ChurnSchedule:
         # online at t=0 (even interval index = online).
         self._boundaries: list[list[float]] = [[] for _ in range(num_nodes)]
 
+    def _interval_mean(self, online: bool, start: float) -> float:
+        """Mean duration of the interval beginning at ``start`` (``online``
+        says which state the node is in during it).  Hook for time-varying
+        subclasses; the base process is stationary."""
+        return self.config.mean_session if online else self.config.mean_downtime
+
     def _extend(self, node: int, until: float) -> None:
         boundaries = self._boundaries[node]
         rng = self._rngs[node]
         while not boundaries or boundaries[-1] <= until:
             last = boundaries[-1] if boundaries else 0.0
-            online_next = len(boundaries) % 2 == 0  # next interval's state flip
-            mean = (
-                self.config.mean_session if online_next else self.config.mean_downtime
-            )
+            online = len(boundaries) % 2 == 0  # state during the next interval
+            mean = self._interval_mean(online, last)
             boundaries.append(last + rng.expovariate(1.0 / mean))
 
     def is_online(self, node: int, time: float) -> bool:
@@ -98,7 +109,20 @@ class ChurnSchedule:
         self._extend(node, until)
         return [b for b in self._boundaries[node] if b <= until]
 
-    def online_fraction(self, time: float) -> float:
-        """Fraction of nodes online at ``time`` (diagnostics)."""
-        online = sum(1 for node in range(self.num_nodes) if self.is_online(node, time))
-        return online / self.num_nodes
+    def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
+        """Maximal offline windows ``[start, end)`` with ``start < until``.
+
+        The node starts online, so windows are the odd-numbered intervals
+        between state flips: ``[b[0], b[1])``, ``[b[2], b[3])``, ...  See
+        :mod:`repro.perturbation.base` for the interval contract.
+        """
+        if node in self.always_online:
+            return []
+        self._extend(node, until)
+        boundaries = self._boundaries[node]
+        intervals: list[tuple[float, float]] = []
+        for i in range(0, len(boundaries) - 1, 2):
+            if boundaries[i] >= until:
+                break
+            intervals.append((boundaries[i], boundaries[i + 1]))
+        return intervals

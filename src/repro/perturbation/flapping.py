@@ -22,7 +22,8 @@ import dataclasses
 import math
 
 from repro.errors import ConfigurationError
-from repro.sim.rng import derive_rng
+from repro.perturbation.base import ProcessBase
+from repro.sim.rng import derive_rng, validate_seed
 
 
 @dataclasses.dataclass(frozen=True)
@@ -80,7 +81,7 @@ class FlappingConfig:
         return self.probability * self.offline_period / self.cycle
 
 
-class FlappingSchedule:
+class FlappingSchedule(ProcessBase):
     """Deterministic per-node availability under the flapping model.
 
     Parameters
@@ -100,11 +101,12 @@ class FlappingSchedule:
         self,
         config: FlappingConfig,
         num_nodes: int,
-        seed: object = 0,
+        seed: int | tuple = 0,
         always_online: frozenset[int] | set[int] = frozenset(),
     ):
         if num_nodes < 1:
             raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        validate_seed(seed)
         self.config = config
         self.num_nodes = num_nodes
         self.seed = seed
@@ -162,7 +164,24 @@ class FlappingSchedule:
             return base + self.config.idle_period
         return base + cycle
 
-    def online_fraction(self, time: float) -> float:
-        """Fraction of nodes online at ``time`` (diagnostics)."""
-        online = sum(1 for node in range(self.num_nodes) if self.is_online(node, time))
-        return online / self.num_nodes
+    def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
+        """Maximal offline windows ``[start, end)`` with ``start < until``.
+
+        Cycle ``k`` contributes ``[phase + k*cycle + idle, phase +
+        (k+1)*cycle)`` iff its Bernoulli draw took the node offline.  See
+        :mod:`repro.perturbation.base` for the interval contract.
+        """
+        if node in self.always_online or self.config.probability == 0.0:
+            return []
+        phase = self._phases[node]
+        cycle = self.config.cycle
+        idle = self.config.idle_period
+        intervals: list[tuple[float, float]] = []
+        k = 0
+        while phase + k * cycle + idle < until:
+            if self.goes_offline(node, k):
+                intervals.append(
+                    (phase + k * cycle + idle, phase + (k + 1) * cycle)
+                )
+            k += 1
+        return intervals

@@ -1,13 +1,21 @@
-"""Named perturbation scenarios matching the paper's experiments.
+"""Named perturbation scenarios: the paper's sweeps plus the catalogue.
 
-The paper sweeps flapping probability 0.1..1.0 for four idle:offline
-configurations in Figure 1 (1:1, 45:15, 30:30, 300:300) and three in
-Figures 11–12 (1:1, 30:30, 300:300).
+Two things live here:
+
+- :class:`PerturbationScenario` and :func:`scenarios_for` — the paper's
+  Figure 1/11 flapping sweeps (probability 0.1..1.0 for four idle:offline
+  configurations in Figure 1: 1:1, 45:15, 30:30, 300:300; three in
+  Figures 11–12: 1:1, 30:30, 300:300);
+- the **scenario-family catalogue** — one entry per availability-process
+  family the engine implements, each pointing at its registered ``ext_*``
+  experiment so ``mpil-experiments scenarios`` can route users from a
+  failure mode to a runnable sweep.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
@@ -35,9 +43,20 @@ class PerturbationScenario:
     def schedule(
         self,
         num_nodes: int,
-        seed: object = 0,
+        seed: int = 0,
         always_online: frozenset[int] | set[int] = frozenset(),
     ) -> FlappingSchedule:
+        """Instantiate the flapping schedule for this cell.
+
+        ``seed`` must be a real int (bools are rejected), matching the
+        convention of :func:`repro.experiments.registry.run_experiment`:
+        derived streams hash ``repr(seed)``, so ``0``, ``"0"``, and
+        ``False`` would silently produce three different trajectories.
+        """
+        if isinstance(seed, bool) or not isinstance(seed, int):
+            raise ConfigurationError(
+                f"seed must be an int, got {type(seed).__name__} {seed!r}"
+            )
         return FlappingSchedule(
             self.config(), num_nodes, seed=seed, always_online=always_online
         )
@@ -54,3 +73,76 @@ def scenarios_for(figure: str, probabilities=FLAP_PROBABILITIES):
         for label in PERIOD_CONFIGS[figure]
         for p in probabilities
     ]
+
+
+# -- the scenario-family catalogue ------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ScenarioFamily:
+    """One availability-process family the scenario engine implements."""
+
+    name: str
+    summary: str
+    process: str  #: the implementing class, dotted from repro.perturbation
+    experiment_id: Optional[str] = None  #: registered ``ext_*`` sweep, if any
+
+
+#: Every scenario family, in catalogue order.  Families compose freely via
+#: :class:`~repro.perturbation.timeline.ScenarioTimeline`.
+SCENARIO_FAMILIES: dict[str, ScenarioFamily] = {
+    family.name: family
+    for family in (
+        ScenarioFamily(
+            name="flapping",
+            summary="the paper's synchronized idle/offline cycles (figs 1, 11, 12)",
+            process="flapping.FlappingSchedule",
+            experiment_id="fig11",
+        ),
+        ScenarioFamily(
+            name="churn",
+            summary="exponential on/off renewal sessions (Overnet/Napster-style)",
+            process="churn.ChurnSchedule",
+            experiment_id="ext-churn",
+        ),
+        ScenarioFamily(
+            name="regional-outage",
+            summary="correlated outage of whole transit-stub domains",
+            process="outage.RegionalOutage",
+            experiment_id="ext-outage",
+        ),
+        ScenarioFamily(
+            name="churn-wave",
+            summary="churn with periodically surging join/leave rates",
+            process="waves.ChurnWaveSchedule",
+            experiment_id="ext-wave",
+        ),
+        ScenarioFamily(
+            name="join-storm",
+            summary="mass simultaneous arrivals rejoining through a perturbed net",
+            process="storms.JoinStormSchedule",
+            experiment_id="ext-joinstorm",
+        ),
+        ScenarioFamily(
+            name="adversarial-removal",
+            summary="permanent deletion of the highest-degree overlay nodes",
+            process="adversarial.AdversarialRemoval",
+            experiment_id="ext-adversarial",
+        ),
+    )
+}
+
+
+def scenario_families() -> list[ScenarioFamily]:
+    """The catalogue, in declaration order."""
+    return list(SCENARIO_FAMILIES.values())
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up one scenario family by name."""
+    try:
+        return SCENARIO_FAMILIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario family {name!r}; choose from {sorted(SCENARIO_FAMILIES)}"
+        ) from None

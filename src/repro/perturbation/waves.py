@@ -1,0 +1,110 @@
+"""Churn waves: time-varying join/leave rates.
+
+Measured churn is not stationary — diurnal cycles, releases, and incidents
+produce *waves* where departure and arrival rates spike together.
+:class:`ChurnWaveSchedule` extends the renewal-process churn model of
+:mod:`repro.perturbation.churn` with a periodic intensity profile: during
+each wave window both the hazard of leaving and the hazard of returning are
+multiplied by ``intensity``, so long-run availability stays at the base
+ratio while churn *speed* surges.  ``intensity = 1`` degenerates to plain
+exponential churn.
+
+Determinism matches the other schedules: per-node interval boundaries are
+generated lazily from named RNG streams, so ``is_online(node, t)`` is a
+pure function of ``(seed, node, t)`` regardless of query order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ConfigurationError
+from repro.perturbation.churn import ChurnSchedule
+
+
+@dataclasses.dataclass(frozen=True)
+class ChurnWaveConfig:
+    """Base churn rates plus a periodic wave profile (seconds).
+
+    During windows ``[k * wave_period, k * wave_period + wave_duration)``
+    both hazards are multiplied by ``intensity``; outside them the base
+    rates apply.
+    """
+
+    mean_session: float
+    mean_downtime: float
+    wave_period: float
+    wave_duration: float
+    intensity: float
+
+    def __post_init__(self) -> None:
+        if self.mean_session <= 0 or self.mean_downtime <= 0:
+            raise ConfigurationError(
+                f"mean_session and mean_downtime must be positive, got "
+                f"{self.mean_session}/{self.mean_downtime}"
+            )
+        if self.wave_period <= 0:
+            raise ConfigurationError(
+                f"wave_period must be positive, got {self.wave_period}"
+            )
+        if not 0 < self.wave_duration <= self.wave_period:
+            raise ConfigurationError(
+                f"wave_duration must be in (0, wave_period], got "
+                f"{self.wave_duration} for period {self.wave_period}"
+            )
+        if self.intensity < 1.0:
+            raise ConfigurationError(
+                f"wave intensity must be >= 1 (a rate multiplier), got {self.intensity}"
+            )
+
+    def rate_multiplier(self, time: float) -> float:
+        """The hazard multiplier in effect at ``time``."""
+        if time < 0:
+            return 1.0
+        return (
+            self.intensity
+            if time % self.wave_period < self.wave_duration
+            else 1.0
+        )
+
+    @property
+    def expected_offline_fraction(self) -> float:
+        """Long-run offline fraction (intensity scales both hazards, so the
+        ratio — and hence availability — matches the base process)."""
+        return self.mean_downtime / (self.mean_session + self.mean_downtime)
+
+    @property
+    def label(self) -> str:
+        return (
+            f"churn-wave({self.mean_session:g}s up / {self.mean_downtime:g}s down, "
+            f"x{self.intensity:g} for {self.wave_duration:g}s every {self.wave_period:g}s)"
+        )
+
+
+class ChurnWaveSchedule(ChurnSchedule):
+    """Per-node on/off renewal process with periodically surging rates.
+
+    A :class:`~repro.perturbation.churn.ChurnSchedule` whose interval
+    durations are drawn with the mean scaled by the wave multiplier *at the
+    interval's start* — a piecewise-thinned renewal process, cheap and
+    deterministic, that concentrates flips inside wave windows.  All
+    boundary/interval machinery is inherited, and the RNG streams match the
+    base process, so ``intensity = 1`` reproduces plain churn exactly
+    (identical trajectories for the same seed).
+    """
+
+    config: ChurnWaveConfig
+
+    def __init__(
+        self,
+        config: ChurnWaveConfig,
+        num_nodes: int,
+        seed: int | tuple = 0,
+        always_online: frozenset[int] | set[int] = frozenset(),
+    ):
+        super().__init__(config, num_nodes, seed=seed, always_online=always_online)
+
+    def _interval_mean(self, online: bool, start: float) -> float:
+        return super()._interval_mean(online, start) / self.config.rate_multiplier(
+            start
+        )

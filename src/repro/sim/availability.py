@@ -1,9 +1,11 @@
 """Node availability interfaces.
 
 An availability model answers one question: is node ``i`` online at time
-``t``?  The perturbation experiments plug in
-:class:`repro.perturbation.flapping.FlappingSchedule`; static experiments
-use :class:`AlwaysOnline`.
+``t``?  The perturbation experiments plug in the scenario engine's
+processes (:class:`repro.perturbation.flapping.FlappingSchedule`, churn,
+outages, storms, removals — or any :class:`ScenarioTimeline` composition
+of them; see :mod:`repro.perturbation.base`); static experiments use
+:class:`AlwaysOnline`.
 """
 
 from __future__ import annotations

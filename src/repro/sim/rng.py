@@ -17,6 +17,36 @@ from __future__ import annotations
 import hashlib
 import random
 
+from repro.errors import ConfigurationError
+
+
+def validate_seed(seed: object) -> object:
+    """Reject seeds whose ``repr`` silently forks random trajectories.
+
+    Streams are derived from ``repr(seed)``, so ``0``, ``"0"``, ``0.0``, and
+    ``True`` are four *different* seeds — a classic way to corrupt a
+    replicate set.  Valid seeds are a real int (bools are rejected) or a
+    composite tuple whose root (first element, recursively) is a real int;
+    the remaining tuple elements are stream labels and may be anything.
+    Returns the seed unchanged so call sites can validate inline.
+
+    >>> validate_seed(7)
+    7
+    >>> validate_seed((0, "flap", "30:30", 0.5))[0]
+    0
+    """
+    root = seed
+    while isinstance(root, tuple):
+        if not root:
+            raise ConfigurationError("composite seed tuple must be non-empty")
+        root = root[0]
+    if isinstance(root, bool) or not isinstance(root, int):
+        raise ConfigurationError(
+            f"seed root must be an int, got {type(root).__name__} {root!r} "
+            f"(streams hash repr(seed), so e.g. '0' and 0 would silently diverge)"
+        )
+    return seed
+
 
 def derive_seed(seed: object, *labels: object) -> int:
     """Derive a 64-bit integer seed from a root seed and a label path.

@@ -74,8 +74,25 @@ class TestMain:
     def test_list_prints_experiments(self, capsys):
         assert main(["list"]) == 0
         output = capsys.readouterr().out
-        for experiment_id in ("fig1", "fig7", "tab1", "ablation-metric"):
+        for experiment_id in ("fig1", "fig7", "tab1", "ablation-metric", "ext-outage"):
             assert experiment_id in output
+
+    def test_scenarios_prints_catalogue(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        for family in ("flapping", "regional-outage", "join-storm"):
+            assert family in output
+
+    def test_scenarios_family_details(self, capsys):
+        assert main(["scenarios", "churn-wave"]) == 0
+        output = capsys.readouterr().out
+        assert "ChurnWaveSchedule" in output
+        assert "ext-wave" in output
+
+    def test_scenarios_figure_sweep(self, capsys):
+        assert main(["scenarios", "--figure", "fig11"]) == 0
+        output = capsys.readouterr().out
+        assert "300:300" in output
 
     def test_run_prints_table(self, capsys):
         assert main(["run", "fig7", "--scale", "smoke"]) == 0
@@ -167,3 +184,69 @@ class TestSweepMain:
         )
         lines = capsys.readouterr().out.splitlines()
         assert lines[0].startswith("nodes,") or "," in lines[0]
+
+
+class TestErrorPaths:
+    """Every expected user-facing error (ExperimentError/ConfigurationError)
+    surfaces as one stderr line, never a traceback; internal-bug classes
+    still propagate with their stack."""
+
+    def _assert_one_line_error(self, capsys, argv, fragment):
+        assert main(argv) == 2
+        captured = capsys.readouterr()
+        error_lines = captured.err.strip().splitlines()
+        assert len(error_lines) == 1
+        assert error_lines[0].startswith("mpil-experiments")
+        assert "error:" in error_lines[0]
+        assert fragment in error_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_unknown_experiment_name(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["run", "fig99", "--scale", "smoke"], "fig99"
+        )
+
+    def test_unknown_sweep_experiment_name(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["sweep", "nope", "--seeds", "0..1", "--scale", "smoke"], "nope"
+        )
+
+    def test_unknown_scenario_family(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["scenarios", "meteor-strike"], "meteor-strike"
+        )
+
+    def test_unknown_scenario_figure(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["scenarios", "--figure", "fig99"], "fig99"
+        )
+
+    def test_scenario_family_and_figure_conflict(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["scenarios", "churn", "--figure", "fig11"], "not both"
+        )
+
+    def test_malformed_seed_range(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["sweep", "fig7", "--seeds", "0..x", "--scale", "smoke"], "0..x"
+        )
+
+    def test_empty_seed_range(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["sweep", "fig7", "--seeds", "5..2", "--scale", "smoke"], "5..2"
+        )
+
+    def test_outage_without_domain_structure(self, capsys, monkeypatch):
+        """Composing a regional-outage scenario on an overlay without
+        domain structure fails with a one-line ConfigurationError."""
+        from repro.overlay.transit_stub import TransitStubUnderlay
+
+        single = TransitStubUnderlay.for_size(12, seed=0)  # 1 transit domain
+        monkeypatch.setattr(
+            TransitStubUnderlay,
+            "for_size",
+            classmethod(lambda cls, n, seed=0: single),
+        )
+        self._assert_one_line_error(
+            capsys, ["run", "ext-outage", "--scale", "smoke"], "domain structure"
+        )
