@@ -30,7 +30,7 @@ import pytest
 
 from repro.experiments.registry import run_experiment
 from repro.experiments.store import ResultStore
-from repro.sim.engine import events_processed_total
+from repro.sim.engine import events_processed_total, reset_events_processed
 
 
 @pytest.fixture(scope="session")
@@ -55,7 +55,7 @@ def run_and_print(benchmark, bench_scale, bench_seed, bench_store):
     the result store, and print the table reloaded from the artifact."""
 
     def runner(experiment_id: str):
-        events_before = events_processed_total()
+        reset_events_processed()
         started = time.perf_counter()
         fresh = benchmark.pedantic(
             run_experiment,
@@ -69,7 +69,7 @@ def run_and_print(benchmark, bench_scale, bench_seed, bench_store):
             fresh,
             seed=bench_seed,
             wall_clock=wall_clock,
-            events_processed=events_processed_total() - events_before,
+            events_processed=events_processed_total(),
         )
         result = bench_store.load(experiment_id, bench_scale, bench_seed)
         print()

@@ -104,6 +104,10 @@ class NeighborMetricTable:
         A metric object (default :class:`CommonDigitsMetric`).
     """
 
+    #: cap on the per-table (node, target) score memo; one routing decision
+    #: list per entry, so this bounds memory at a few hundred MB worst case
+    SCORE_CACHE_LIMIT = 200_000
+
     def __init__(self, overlay, ids: Sequence[Identifier], metric=None):
         if len(ids) != overlay.n:
             raise RoutingError(
@@ -112,25 +116,61 @@ class NeighborMetricTable:
         self.overlay = overlay
         self.ids = tuple(ids)
         self.metric = metric if metric is not None else CommonDigitsMetric()
-        self._neighbor_ids: list[np.ndarray] = []
-        self._matrices: list[np.ndarray] = []
         num_digits = ids[0].space.num_digits if ids else 0
+        # One shared (n, M) digit matrix; per-node matrices are fancy-indexed
+        # views of it, with the node's own digits prepended as row 0 so one
+        # vectorised metric call yields the self score and every neighbor
+        # score together.
+        if ids:
+            all_digits = np.stack([identifier.digits_array for identifier in ids])
+        else:  # pragma: no cover - empty overlays are rejected upstream
+            all_digits = np.empty((0, num_digits), dtype=np.uint8)
+        self._neighbor_ids: list[np.ndarray] = []
+        self._neighbor_tuples: list[tuple[int, ...]] = []
+        self._matrices: list[np.ndarray] = []
+        self._matrices_with_self: list[np.ndarray] = []
         for node in range(overlay.n):
             neighbors = overlay.neighbors(node)
             self._neighbor_ids.append(np.asarray(neighbors, dtype=np.int64))
-            if neighbors:
-                matrix = np.stack([ids[v].digits_array for v in neighbors])
-            else:
-                matrix = np.empty((0, num_digits), dtype=np.uint8)
-            self._matrices.append(matrix)
+            self._neighbor_tuples.append(tuple(int(v) for v in neighbors))
+            rows = (node,) + self._neighbor_tuples[-1]
+            with_self = all_digits[list(rows)]
+            self._matrices_with_self.append(with_self)
+            self._matrices.append(with_self[1:])
+        self._score_cache: dict[tuple[int, int], list[int]] = {}
 
     def neighbor_array(self, node: int) -> np.ndarray:
         """Neighbor indices of ``node`` aligned with :meth:`scores`."""
         return self._neighbor_ids[node]
 
+    def neighbor_list(self, node: int) -> tuple[int, ...]:
+        """Neighbor indices of ``node`` as plain Python ints (the form the
+        forwarding decision consumes without per-element numpy casts)."""
+        return self._neighbor_tuples[node]
+
     def scores(self, node: int, target: Identifier) -> np.ndarray:
         """Metric scores of every neighbor of ``node`` against ``target``."""
         return self.metric.scores_matrix(target.digits_array, self._matrices[node])
+
+    def scores_with_self(self, node: int, target: Identifier) -> list[int]:
+        """``[self_score, *neighbor_scores]`` as one memoised Python list.
+
+        One vectorised metric evaluation covers the node and all of its
+        neighbors; results are cached per ``(node, target)`` because the
+        perturbation experiments re-route the same objects across many
+        scenario cells and protocol variants.  Callers must treat the
+        returned list as read-only.
+        """
+        key = (node, target.value)
+        cached = self._score_cache.get(key)
+        if cached is None:
+            if len(self._score_cache) >= self.SCORE_CACHE_LIMIT:
+                self._score_cache.clear()
+            cached = self.metric.scores_matrix(
+                target.digits_array, self._matrices_with_self[node]
+            ).tolist()
+            self._score_cache[key] = cached
+        return cached
 
     def self_score(self, node: int, target: Identifier) -> int:
         """Metric score of ``node`` itself against ``target``."""

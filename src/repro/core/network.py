@@ -29,8 +29,39 @@ from repro.core.results import InsertResult, LookupResult
 from repro.core.routing import decide_forwarding
 from repro.errors import ConfigurationError, RoutingError
 from repro.overlay.graph import OverlayGraph
+from repro.sim.engine import add_events_processed
 from repro.sim.rng import derive_rng
 from repro.sim.trace import TraceRecorder
+from repro.util.cache import BoundedCache
+
+#: node identifiers are a pure function of (seed, n, space); sweeps and
+#: repeated runs over the same cell share one tuple
+_IDS_CACHE: BoundedCache[tuple] = BoundedCache(maxsize=32)
+#: neighbor metric tables are pure functions of (overlay, ids, metric);
+#: keyed by identity of objects the entry itself keeps alive
+_METRIC_TABLE_CACHE: BoundedCache[tuple] = BoundedCache(maxsize=12)
+
+
+def _cached_node_ids(space: IdSpace, n: int, seed: object) -> tuple[Identifier, ...]:
+    return _IDS_CACHE.get_or_build(
+        (repr(seed), n, space),
+        lambda: tuple(space.random_unique_identifiers(n, derive_rng(seed, "node-ids", n))),
+    )
+
+
+def _cached_metric_table(
+    overlay: OverlayGraph, ids: tuple[Identifier, ...], metric_name: str
+) -> NeighborMetricTable:
+    # the entry holds the overlay and ids so the id()-based key stays valid
+    # for exactly as long as the entry lives
+    return _METRIC_TABLE_CACHE.get_or_build(
+        (id(overlay), id(ids), metric_name),
+        lambda: (
+            overlay,
+            ids,
+            NeighborMetricTable(overlay, ids, metric=metric_by_name(metric_name)),
+        ),
+    )[2]
 
 
 class MPILNetwork:
@@ -67,10 +98,8 @@ class MPILNetwork:
         self.seed = seed
         self.trace = trace
         if ids is None:
-            rng = derive_rng(seed, "node-ids", overlay.n)
-            self.ids: tuple[Identifier, ...] = tuple(
-                space.random_unique_identifiers(overlay.n, rng)
-            )
+            self.ids: tuple[Identifier, ...] = _cached_node_ids(space, overlay.n, seed)
+            share_table = True
         else:
             if len(ids) != overlay.n:
                 raise ConfigurationError(
@@ -81,10 +110,18 @@ class MPILNetwork:
                     raise ConfigurationError(
                         "explicit identifiers must live in the network's id space"
                     )
-            self.ids = tuple(ids)
-        self.metric_table = NeighborMetricTable(
-            overlay, self.ids, metric=metric_by_name(config.metric)
-        )
+            # identity-keyed sharing only helps callers that reuse one ids
+            # tuple (e.g. mpil_on_pastry passing the cached Pastry ids); a
+            # fresh list/tuple per construction would guarantee misses while
+            # churning useful entries out of the bounded cache
+            share_table = isinstance(ids, tuple)
+            self.ids = ids if share_table else tuple(ids)
+        if share_table:
+            self.metric_table = _cached_metric_table(overlay, self.ids, config.metric)
+        else:
+            self.metric_table = NeighborMetricTable(
+                overlay, self.ids, metric=metric_by_name(config.metric)
+            )
         self.directory = ReplicaDirectory()
         self._next_request_id = 0
 
@@ -222,22 +259,31 @@ class MPILNetwork:
         duplicates = 0
         flows = 0
         max_hop = 0
+        events = 0
+        metric_table = self.metric_table
+        scores_with_self = metric_table.scores_with_self
+        neighbor_list = metric_table.neighbor_list
+        directory = self.directory
+        is_lookup = kind == KIND_LOOKUP
+        suppress = cfg.duplicate_suppression
 
         while queue:
             msg = queue.popleft()
             node = msg.at
-            max_hop = max(max_hop, msg.hop)
+            events += 1
+            if msg.hop > max_hop:
+                max_hop = msg.hop
 
             if node in received:
                 duplicates += 1
-                if cfg.duplicate_suppression:
+                if suppress:
                     continue
             received.add(node)
-            if cfg.duplicate_suppression and node in processed:
+            if suppress and node in processed:
                 continue
             processed.add(node)
 
-            if kind == KIND_LOOKUP and self.directory.has(node, object_id):
+            if is_lookup and directory.has(node, object_id):
                 # "each recipient node checks to see it has the object; if it
                 # does, it stops forwarding the query and replies back
                 # directly to the querying node."
@@ -248,15 +294,13 @@ class MPILNetwork:
                     self.trace.emit(msg.hop, "reply", node, request=request_id)
                 continue
 
-            neighbor_ids = self.metric_table.neighbor_array(node)
-            neighbor_scores = self.metric_table.scores(node, object_id)
-            self_score = self.metric_table.self_score(node, object_id)
+            scores = scores_with_self(node, object_id)
             excluded = set(msg.route)
             excluded.add(node)
             decision = decide_forwarding(
-                self_score=self_score,
-                neighbor_ids=neighbor_ids,
-                neighbor_scores=neighbor_scores,
+                self_score=scores[0],
+                neighbor_ids=neighbor_list(node),
+                neighbor_scores=scores[1:],
                 excluded=excluded,
                 max_flows=msg.max_flows,
                 given_flows=msg.given_flows,
@@ -267,8 +311,8 @@ class MPILNetwork:
 
             replicas_left = msg.replicas_left
             if decision.is_local_max:
-                if kind == KIND_INSERT:
-                    self.directory.store(node, object_id, owner, hop=msg.hop)
+                if not is_lookup:
+                    directory.store(node, object_id, owner, hop=msg.hop)
                     if node not in stored:
                         stored.append(node)
                     if self.trace is not None:
@@ -291,6 +335,7 @@ class MPILNetwork:
                         msg.hop, "send", node, to=next_node, request=request_id
                     )
 
+        add_events_processed(events)
         return {
             "stored": stored,
             "replies": replies,

@@ -44,8 +44,8 @@ class ForwardDecision:
 
 def decide_forwarding(
     self_score: int,
-    neighbor_ids: np.ndarray,
-    neighbor_scores: np.ndarray,
+    neighbor_ids: "np.ndarray | Sequence[int]",
+    neighbor_scores: "np.ndarray | Sequence[int]",
     excluded: AbstractSet[int],
     max_flows: int,
     given_flows: int,
@@ -60,7 +60,8 @@ def decide_forwarding(
     self_score:
         Metric value of the current node against the object ID.
     neighbor_ids / neighbor_scores:
-        Aligned arrays of neighbor indices and their metric values.
+        Aligned arrays (or plain sequences) of neighbor indices and their
+        metric values.
     excluded:
         Nodes that may not be chosen as next hops: the message's route plus
         the current node ("Choosing next_hop_list is dependent only on peers
@@ -76,22 +77,34 @@ def decide_forwarding(
         (the pseudo-code's "all nodes in neighbor list"); ``"unvisited-only"``
         tests only against the unvisited candidates (ablation).
     """
-    n = len(neighbor_ids)
-    candidate_positions = [
-        i for i in range(n) if int(neighbor_ids[i]) not in excluded
-    ]
-    if candidate_positions:
-        best = max(int(neighbor_scores[i]) for i in candidate_positions)
-        best_positions = [
-            i for i in candidate_positions if int(neighbor_scores[i]) == best
-        ]
-        best_candidate_score: Optional[int] = best
-    else:
-        best_positions = []
-        best_candidate_score = None
+    # Plain-Python fast path: numpy arrays are converted to lists once, then
+    # a single ascending pass finds the best unvisited score and collects the
+    # tied positions — same candidate order (and therefore the same RNG
+    # consumption) as the original max-then-filter formulation.
+    ids_list: Sequence[int] = (
+        neighbor_ids if isinstance(neighbor_ids, (list, tuple)) else neighbor_ids.tolist()
+    )
+    scores_list: Sequence[int] = (
+        neighbor_scores
+        if isinstance(neighbor_scores, (list, tuple))
+        else neighbor_scores.tolist()
+    )
+    n = len(ids_list)
+    best: Optional[int] = None
+    best_positions: list[int] = []
+    for i, neighbor in enumerate(ids_list):
+        if neighbor in excluded:
+            continue
+        score = scores_list[i]
+        if best is None or score > best:
+            best = score
+            best_positions = [i]
+        elif score == best:
+            best_positions.append(i)
+    best_candidate_score: Optional[int] = best
 
     if local_max_rule == "all-neighbors":
-        reference = int(neighbor_scores.max()) if n else None
+        reference = max(scores_list) if n else None
     else:
         reference = best_candidate_score
     is_local_max = reference is None or self_score >= reference
@@ -111,12 +124,12 @@ def decide_forwarding(
         if tie_break == "random":
             chosen = rng.sample(best_positions, fanout)
         else:
-            by_id = sorted(best_positions, key=lambda i: int(neighbor_ids[i]))
+            by_id = sorted(best_positions, key=ids_list.__getitem__)
             chosen = by_id[:fanout]
     else:
         chosen = best_positions
 
-    next_hops = tuple(int(neighbor_ids[i]) for i in chosen)
+    next_hops = tuple(ids_list[i] for i in chosen)
     budgets = tuple(split_flow_budget(max_flows, given_flows, fanout))
     return ForwardDecision(
         is_local_max=is_local_max,

@@ -177,12 +177,12 @@ class TimedMPILNetwork:
                     state["first_reply_time"] = engine.now
                     state["first_reply_hop"] = hop
 
-            engine.schedule_at(arrival, on_reply)
+            engine.post(arrival, on_reply)
 
         def send(msg: MPILMessage, sender: int) -> None:
             counters.messages_sent += 1
             arrival = engine.now + self.latency.latency(sender, msg.at)
-            engine.schedule_at(arrival, process, msg)
+            engine.post(arrival, process, msg)
 
         def process(msg: MPILMessage) -> None:
             node = msg.at
@@ -205,15 +205,13 @@ class TimedMPILNetwork:
                 counters.drops_hop_limit += 1
                 return
 
-            neighbor_ids = metric_table.neighbor_array(node)
-            neighbor_scores = metric_table.scores(node, object_id)
-            self_score = metric_table.self_score(node, object_id)
+            scores = metric_table.scores_with_self(node, object_id)
             excluded = set(msg.route)
             excluded.add(node)
             decision = decide_forwarding(
-                self_score=self_score,
-                neighbor_ids=neighbor_ids,
-                neighbor_scores=neighbor_scores,
+                self_score=scores[0],
+                neighbor_ids=metric_table.neighbor_list(node),
+                neighbor_scores=scores[1:],
                 excluded=excluded,
                 max_flows=msg.max_flows,
                 given_flows=msg.given_flows,
@@ -244,7 +242,7 @@ class TimedMPILNetwork:
             hop=0,
             given_flows=0,
         )
-        engine.schedule_at(start_time, process, initial)
+        engine.post(start_time, process, initial)
         engine.run(until=deadline)
 
         return TimedLookupResult(

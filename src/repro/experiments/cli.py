@@ -1,6 +1,6 @@
-"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep ...``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|perf ...``.
 
-Four commands:
+Five commands:
 
 - ``list`` — show every registered experiment id and title;
 - ``scenarios`` — show the perturbation-scenario catalogue (one line per
@@ -12,7 +12,10 @@ Four commands:
 - ``sweep`` — run experiments over a *set* of seeds, optionally across a
   worker pool, persisting per-seed JSON artifacts and a mean/stdev/ci95
   aggregate per experiment (see :mod:`repro.experiments.runner` and
-  :mod:`repro.experiments.store`).
+  :mod:`repro.experiments.store`);
+- ``perf`` — profile experiments (events/sec, wall clock, cProfile top-k)
+  into ``BENCH_<id>.json`` files, optionally gating against a committed
+  ``benchmarks/baseline.json`` (see :mod:`repro.perf`).
 
 The sweep store layout is ``<out>/<experiment>/<scale>/seed_<n>.json`` with
 a ``manifest.json`` (git revision, timestamps, wall-clock, event counts)
@@ -29,6 +32,7 @@ Examples::
     mpil-experiments run all --scale default --out results/
     mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format json
     mpil-experiments sweep fig9 --seeds 0,2,5 --scale smoke --format csv
+    mpil-experiments perf fig9 ext-outage --scale smoke --check benchmarks/baseline.json
 
 (Without an installed entry point, invoke the same CLI as
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.)
@@ -48,6 +52,8 @@ from repro.experiments.registry import all_experiment_ids, get_experiment, run_e
 from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sweep
 from repro.experiments.scales import SCALES
 from repro.experiments.store import ResultStore, result_to_csv
+from repro.perf.profiler import profile_experiment, write_bench
+from repro.perf.regression import check_regressions, write_baseline
 from repro.perturbation.scenario import get_family, scenario_families, scenarios_for
 
 
@@ -135,6 +141,67 @@ def build_parser() -> argparse.ArgumentParser:
         default="table",
         help="how to print each experiment's aggregate",
     )
+
+    perf_parser = sub.add_parser(
+        "perf",
+        help="profile experiments (events/sec, hotspots) and gate regressions",
+    )
+    perf_parser.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids (or 'all')",
+    )
+    perf_parser.add_argument(
+        "--scale",
+        default="smoke",
+        choices=sorted(SCALES),
+        help="experiment scale preset (default: smoke)",
+    )
+    perf_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    perf_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repeats per experiment; events/sec uses the best",
+    )
+    perf_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hotspot entries to keep from the cProfile pass (0 disables it)",
+    )
+    perf_parser.add_argument(
+        "--cold",
+        action="store_true",
+        help="clear construction caches before every repeat (measure "
+        "end-to-end cost instead of steady-state throughput)",
+    )
+    perf_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("benchmarks"),
+        help="directory receiving one BENCH_<id>.json per experiment",
+    )
+    perf_parser.add_argument(
+        "--check",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE",
+        help="compare against a committed baseline.json; exit 1 on regression",
+    )
+    perf_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed events/sec drop before --check fails (default: 0.2)",
+    )
+    perf_parser.add_argument(
+        "--write-baseline",
+        type=pathlib.Path,
+        default=None,
+        metavar="BASELINE",
+        help="rewrite a baseline.json from this run's measurements",
+    )
     return parser
 
 
@@ -207,7 +274,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     def progress(outcome: TaskOutcome) -> None:
         print(
             f"[{outcome.experiment_id} seed={outcome.seed}] "
-            f"{outcome.wall_clock:.1f}s, {outcome.events_processed} events -> "
+            f"{outcome.wall_clock:.1f}s, {outcome.events_processed} events "
+            f"({outcome.events_per_sec:.0f}/s) -> "
             f"{store.seed_path(outcome.experiment_id, outcome.scale, outcome.seed)}",
             file=sys.stderr,
         )
@@ -231,6 +299,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_perf(args: argparse.Namespace) -> int:
+    results = []
+    for experiment_id in _requested_ids(args.experiments):
+        result = profile_experiment(
+            experiment_id,
+            scale=args.scale,
+            seed=args.seed,
+            repeats=args.repeats,
+            top=args.top,
+            warm=not args.cold,
+        )
+        results.append(result)
+        path = write_bench(result, args.out)
+        print(result.summary())
+        print(f"  -> {path}", file=sys.stderr)
+    # gate against the *existing* baseline before any refresh, so pairing
+    # --check with --write-baseline (same file) still compares against the
+    # previously committed floor instead of this run's own numbers
+    failed = False
+    if args.check is not None:
+        regressions = check_regressions(results, args.check, tolerance=args.tolerance)
+        if regressions:
+            failed = True
+            for regression in regressions:
+                print(f"REGRESSION {regression.describe()}", file=sys.stderr)
+        else:
+            print(
+                f"no regressions vs {args.check} "
+                f"(tolerance {args.tolerance * 100:.0f}%)",
+                file=sys.stderr,
+            )
+    if args.write_baseline is not None:
+        baseline_path = write_baseline(results, args.write_baseline, scale=args.scale)
+        print(f"baseline written: {baseline_path}", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -240,6 +345,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_scenarios(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "perf":
+            return _cmd_perf(args)
         return _cmd_sweep(args)
     except (ExperimentError, ConfigurationError) as exc:
         # one line per expected user-facing error (unknown ids/scenarios,

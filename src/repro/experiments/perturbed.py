@@ -36,6 +36,7 @@ from repro.perturbation.outage import regions_from_attachment
 from repro.sim.counters import TrafficCounters
 from repro.sim.latency import UnderlayLatency
 from repro.sim.rng import derive_rng
+from repro.util.cache import BoundedCache
 
 #: MPIL parameters for the MSPastry-overlay experiments (paper Section 6.2)
 MPIL_MAX_FLOWS = 10
@@ -69,6 +70,23 @@ class PerturbationTestbed:
     regions: list[int] = dataclasses.field(default_factory=list)
 
 
+#: the underlay, attachment, latency model, and region map are pure
+#: functions of (num_nodes, seed); stable latency identity here is also
+#: what lets the PastryNetwork structure cache hit across runs
+_UNDERLAY_CACHE: BoundedCache[tuple] = BoundedCache(maxsize=8)
+
+
+def _underlay_parts(num_nodes: int, seed: object):
+    def build():
+        underlay = TransitStubUnderlay.for_size(num_nodes, seed=seed)
+        attachment = underlay.random_attachment(num_nodes, seed=seed)
+        latency = UnderlayLatency(underlay, attachment)
+        regions = regions_from_attachment(underlay, attachment)
+        return (underlay, attachment, latency, regions)
+
+    return _UNDERLAY_CACHE.get_or_build((num_nodes, repr(seed)), build)
+
+
 def build_testbed(
     num_nodes: int,
     num_inserts: int,
@@ -76,9 +94,7 @@ def build_testbed(
     pastry_config: PastryConfig = PastryConfig(),
 ) -> PerturbationTestbed:
     """Build the Pastry overlay on a transit-stub underlay and run stage 1."""
-    underlay = TransitStubUnderlay.for_size(num_nodes, seed=seed)
-    attachment = underlay.random_attachment(num_nodes, seed=seed)
-    latency = UnderlayLatency(underlay, attachment)
+    _underlay, _attachment, latency, regions = _underlay_parts(num_nodes, seed)
     pastry = PastryNetwork(
         n=num_nodes, config=pastry_config, latency=latency, seed=seed
     )
@@ -115,7 +131,7 @@ def build_testbed(
         objects_rr=objects_rr,
         objects_mpil=objects_mpil,
         seed=seed,
-        regions=regions_from_attachment(underlay, attachment),
+        regions=regions,
     )
 
 

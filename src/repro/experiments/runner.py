@@ -42,7 +42,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import get_experiment, run_experiment
 from repro.experiments.scales import get_scale
 from repro.experiments.store import ResultStore, aggregate_results
-from repro.sim.engine import events_processed_total
+from repro.sim.engine import events_processed_total, reset_events_processed
 
 
 def parse_seeds(text: str) -> tuple[int, ...]:
@@ -123,6 +123,13 @@ class TaskOutcome:
     events_processed: int
 
     @property
+    def events_per_sec(self) -> float:
+        """Task throughput (0.0 when the clock resolution rounds to zero)."""
+        if self.wall_clock <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock
+
+    @property
     def result(self) -> ExperimentResult:
         return ExperimentResult.from_dict(self.payload)
 
@@ -145,9 +152,16 @@ class SweepReport:
 
 def _execute_task(task: tuple[str, str, int]) -> TaskOutcome:
     """Run one (experiment_id, scale, seed) task; must stay module-level
-    (and therefore picklable) so pool workers can receive it."""
+    (and therefore picklable) so pool workers can receive it.
+
+    The process-wide event counter is *reset* at task start (in whichever
+    worker process executes the task), so the recorded count is exactly
+    this task's events — pooled workers execute many tasks back to back,
+    and a before/after subtraction would silently fold in any events a
+    library callback or atexit hook ran between tasks.
+    """
     experiment_id, scale, seed = task
-    events_before = events_processed_total()
+    reset_events_processed()
     started = time.perf_counter()
     result = run_experiment(experiment_id, scale=scale, seed=seed)
     wall_clock = time.perf_counter() - started
@@ -158,7 +172,7 @@ def _execute_task(task: tuple[str, str, int]) -> TaskOutcome:
         seed=seed,
         payload=payload,
         wall_clock=wall_clock,
-        events_processed=events_processed_total() - events_before,
+        events_processed=events_processed_total(),
     )
 
 

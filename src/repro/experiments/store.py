@@ -74,7 +74,8 @@ class RunRecord:
 
     seed: int
     wall_clock: float  #: seconds spent inside run_experiment
-    events_processed: int  #: EventScheduler events executed by the run
+    events_processed: int  #: simulation events executed by the run
+    events_per_sec: float  #: events_processed / wall_clock (0.0 if untimed)
     rows: int  #: number of table rows in the artifact
     written_at: str  #: ISO-8601 UTC timestamp of the save
 
@@ -139,6 +140,9 @@ class ResultStore:
                 seed=seed,
                 wall_clock=round(wall_clock, 6),
                 events_processed=events_processed,
+                events_per_sec=(
+                    round(events_processed / wall_clock, 3) if wall_clock > 0 else 0.0
+                ),
                 rows=len(result.rows),
                 written_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
             ),

@@ -20,6 +20,7 @@ from repro.overlay.graph import OverlayGraph
 from repro.overlay.power_law import power_law_graph
 from repro.overlay.random_graphs import fixed_degree_random_graph
 from repro.sim.rng import derive_rng
+from repro.util.cache import BoundedCache
 
 #: the paper's insertion parameters for all static experiments
 INSERT_MAX_FLOWS = 30
@@ -40,9 +41,17 @@ FAMILIES: dict[str, Callable[[int, object], OverlayGraph]] = {
 }
 
 
+#: sample graphs are immutable and purely seed-determined; fig9/fig10 and
+#: Tables 1-3 all draw the same cells, so one process builds each graph once
+_OVERLAY_CACHE: BoundedCache[OverlayGraph] = BoundedCache(maxsize=12)
+
+
 def make_overlay(family: str, n: int, graph_index: int, seed: object) -> OverlayGraph:
     """One of the family's sample graphs (paper: 10 per setting)."""
-    return FAMILIES[family](n, (seed, family, n, graph_index))
+    return _OVERLAY_CACHE.get_or_build(
+        (family, n, graph_index, repr(seed)),
+        lambda: FAMILIES[family](n, (seed, family, n, graph_index)),
+    )
 
 
 @dataclasses.dataclass

@@ -14,9 +14,12 @@ its leaf set plus routing-table entries) skip that check.
 from __future__ import annotations
 
 import collections
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.errors import OverlayError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 
 class OverlayGraph:
@@ -34,6 +37,11 @@ class OverlayGraph:
         )
         self.name = name
         self.directed = directed
+        #: per-node degree, computed once (perturbation families rank and
+        #: re-rank nodes by degree; len() per probe re-scans nothing here)
+        self._degrees: tuple[int, ...] = tuple(len(ns) for ns in self._adj)
+        self._total_degrees: tuple[int, ...] | None = None
+        self._csr: tuple | None = None
         if validate:
             self._validate()
 
@@ -102,7 +110,55 @@ class OverlayGraph:
         return self._adj[node]
 
     def degree(self, node: int) -> int:
-        return len(self._adj[node])
+        return self._degrees[node]
+
+    @property
+    def degrees(self) -> tuple[int, ...]:
+        """Degree of every node, as one cached tuple (out-degree for
+        directed overlays)."""
+        return self._degrees
+
+    @property
+    def total_degrees(self) -> tuple[int, ...]:
+        """Out + in degree of every node, cached.
+
+        For undirected overlays this is just :attr:`degrees`; for directed
+        ones (Pastry neighbor lists) it adds how many nodes point *at* each
+        node — the ranking adversarial-removal scenarios target — without
+        re-walking the adjacency per scenario cell.
+        """
+        if not self.directed:
+            return self._degrees
+        if self._total_degrees is None:
+            import numpy as np
+
+            _indptr, indices = self.adjacency_arrays()
+            incoming = np.bincount(indices, minlength=self.n)
+            self._total_degrees = tuple(
+                int(out + inc) for out, inc in zip(self._degrees, incoming)
+            )
+        return self._total_degrees
+
+    def adjacency_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """CSR-style ``(indptr, indices)`` adjacency view, built lazily.
+
+        ``indices[indptr[u]:indptr[u + 1]]`` are the (sorted) neighbors of
+        ``u``; both arrays are cached, so vectorised consumers (metric
+        tables, perturbation families scoring whole node sets) share one
+        copy instead of re-walking the per-node tuples.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            indptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum(self._degrees, out=indptr[1:])
+            indices = np.fromiter(
+                (v for ns in self._adj for v in ns),
+                dtype=np.int64,
+                count=int(indptr[-1]),
+            )
+            self._csr = (indptr, indices)
+        return self._csr
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Iterate edges; for undirected graphs each edge appears once."""
@@ -113,20 +169,18 @@ class OverlayGraph:
 
     @property
     def num_edges(self) -> int:
-        total = sum(len(ns) for ns in self._adj)
+        total = sum(self._degrees)
         return total if self.directed else total // 2
 
     def degree_histogram(self) -> dict[int, int]:
         """Map degree -> number of nodes with that degree."""
-        histogram: dict[int, int] = collections.Counter(
-            len(ns) for ns in self._adj
-        )
+        histogram: dict[int, int] = collections.Counter(self._degrees)
         return dict(histogram)
 
     def average_degree(self) -> float:
         if self.n == 0:
             return 0.0
-        return sum(len(ns) for ns in self._adj) / self.n
+        return sum(self._degrees) / self.n
 
     def is_connected(self) -> bool:
         """BFS connectivity test (weak connectivity for directed graphs)."""

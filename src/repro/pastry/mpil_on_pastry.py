@@ -19,17 +19,30 @@ from repro.overlay.graph import OverlayGraph
 from repro.pastry.protocol import PastryNetwork
 from repro.sim.availability import AlwaysOnline, AvailabilityModel
 from repro.sim.latency import LatencyModel
+from repro.util.cache import BoundedCache
+
+#: the neighbor overlay is a pure function of the Pastry structure; keyed
+#: by identity of the (cached, entry-pinned) leaf sets and tables so every
+#: run over one structure shares a single OverlayGraph
+_NEIGHBOR_OVERLAY_CACHE: BoundedCache[tuple] = BoundedCache(maxsize=8)
 
 
 def pastry_neighbor_overlay(pastry: PastryNetwork) -> OverlayGraph:
     """The directed overlay of Pastry neighbor lists (leaf set ∪ table)."""
-    adjacency = []
-    for node in range(pastry.n):
-        neighbors = set(pastry.leaf_sets[node])
-        neighbors.update(pastry.tables[node].values())
-        neighbors.discard(node)
-        adjacency.append(sorted(neighbors))
-    return OverlayGraph(adjacency, name="pastry-neighbors", directed=True)
+
+    def build():
+        adjacency = []
+        for node in range(pastry.n):
+            neighbors = set(pastry.leaf_sets[node])
+            neighbors.update(pastry.tables[node].values())
+            neighbors.discard(node)
+            adjacency.append(sorted(neighbors))
+        overlay = OverlayGraph(adjacency, name="pastry-neighbors", directed=True)
+        return (pastry.leaf_sets, pastry.tables, overlay)
+
+    return _NEIGHBOR_OVERLAY_CACHE.get_or_build(
+        (id(pastry.leaf_sets), id(pastry.tables)), build
+    )[2]
 
 
 def make_mpil_over_pastry(

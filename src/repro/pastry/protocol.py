@@ -36,8 +36,17 @@ from repro.pastry.state import (
 from repro.pastry.views import ProbedViewOracle
 from repro.sim.availability import AlwaysOnline, AvailabilityModel
 from repro.sim.counters import TrafficCounters
+from repro.sim.engine import add_events_processed
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.rng import derive_rng
+from repro.util.cache import BoundedCache
+
+#: ring + leaf sets + routing tables are a pure function of
+#: (seed, n, space, config, latency); scenario experiments rebuild the
+#: same structure for every run at one scale, so memoise it per process.
+#: Entries hold the latency model so the id()-based key component stays
+#: valid while the entry lives.
+_STRUCTURE_CACHE: BoundedCache[tuple] = BoundedCache(maxsize=8)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -102,20 +111,38 @@ class PastryNetwork:
                 f"id space digit_bits ({space.digit_bits}) must equal the Pastry "
                 f"b parameter ({config.digit_bits})"
             )
-        if ids is None:
-            if n is None:
-                raise ConfigurationError("provide either n or explicit ids")
-            rng = derive_rng(seed, "pastry-node-ids", n)
-            ids = space.random_unique_identifiers(n, rng)
         self.space = space
-        self.ids = tuple(ids)
         self.config = config
         self.latency = latency
         self.seed = seed
-        self.ring = PastryRing(self.ids)
-        self.leaf_sets = build_leaf_sets(self.ring, config.leaf_set_size)
-        self.tables = build_routing_tables(self.ring, latency=latency, seed=seed)
+        if ids is None:
+            if n is None:
+                raise ConfigurationError("provide either n or explicit ids")
+            structure = _STRUCTURE_CACHE.get_or_build(
+                (repr(seed), n, space, config, id(latency)),
+                lambda: self._build_structure(n),
+            )
+            _latency, self.ids, self.ring, self.leaf_sets, self.tables = structure
+        else:
+            _latency, self.ids, self.ring, self.leaf_sets, self.tables = (
+                self._build_structure(None, tuple(ids))
+            )
         self.directory = ReplicaDirectory()
+
+    def _build_structure(
+        self, n: Optional[int], ids: Optional[tuple[Identifier, ...]] = None
+    ) -> tuple:
+        """(latency, ids, ring, leaf sets, routing tables) — the immutable,
+        purely seed-determined part of the network (the cache entry; it
+        carries the latency model so the id()-keyed entry pins it)."""
+        if ids is None:
+            assert n is not None
+            rng = derive_rng(self.seed, "pastry-node-ids", n)
+            ids = tuple(self.space.random_unique_identifiers(n, rng))
+        ring = PastryRing(ids)
+        leaf_sets = build_leaf_sets(ring, self.config.leaf_set_size)
+        tables = build_routing_tables(ring, latency=self.latency, seed=self.seed)
+        return (self.latency, ids, ring, leaf_sets, tables)
 
     @property
     def n(self) -> int:
@@ -151,6 +178,7 @@ class PastryNetwork:
     ) -> PastryInsertResult:
         """Insert on the fully-online overlay (stage 1)."""
         path = self.route_static(origin, key)
+        add_events_processed(len(path))
         delivery = path[-1]
         if replicate_on_route:
             replicas = tuple(dict.fromkeys(path))
@@ -191,10 +219,12 @@ class PastryNetwork:
         hops = 0
         messages = 0
         retransmissions = 0
+        events = 0
         learned_dead: set[int] = set()
         root = self.ring.root_of(key)
 
         while True:
+            events += 1
             if hops >= cfg.max_route_hops:
                 outcome = PastryLookupOutcome(
                     key=key,
@@ -270,6 +300,9 @@ class PastryNetwork:
                 learned_dead.add(next_node)
                 time += (cfg.app_retransmissions + 1) * cfg.app_retx_interval
 
+        # every routing-rule evaluation plus every (re)transmission attempt
+        # is one discrete simulation event
+        add_events_processed(events + messages + retransmissions)
         if counters is not None:
             counters.messages_sent += messages
             counters.retransmissions += retransmissions

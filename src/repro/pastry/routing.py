@@ -41,34 +41,60 @@ def pastry_next_hop(
     ring: PastryRing,
     leaf_set: Sequence[int],
     table: dict[tuple[int, int], int],
-    alive: Callable[[int, str], bool],
+    alive: Optional[Callable[[int, str], bool]],
 ) -> HopDecision:
     """Apply the Pastry routing rule at ``node`` for ``key``.
 
     ``alive(candidate, kind)`` reports whether this node currently believes
     ``candidate`` (known via structure ``kind`` in {"leafset", "table"}) to
-    be responsive.
-    """
-    ids = ring.ids
-    node_value = ids[node].value
-    key_value = key.value
+    be responsive; ``alive=None`` means every candidate is believed alive
+    (the static-stage fast path — no per-candidate predicate calls).
 
-    alive_leaves = [m for m in leaf_set if alive(m, "leafset")]
+    This is the inner loop of every lookup: ring offsets and circular
+    distances are computed inline on the ring's cached raw values, and the
+    shared-prefix digit decomposition goes through the ring's memo
+    (:meth:`~repro.pastry.state.PastryRing.prefix_len`).
+    """
+    values = ring.values
+    node_value = values[node]
+    key_value = key.value
+    size = ring.space.size
+    half = size >> 1
+
+    if alive is None:
+        alive_leaves: Sequence[int] = leaf_set
+    else:
+        alive_leaves = [m for m in leaf_set if alive(m, "leafset")]
 
     # 1. leaf-set range check
     if alive_leaves:
-        offsets = [ring.signed_offset(node_value, ids[m].value) for m in alive_leaves]
-        lo = min(min(offsets), 0)
-        hi = max(max(offsets), 0)
-        key_offset = ring.signed_offset(node_value, key_value)
+        # signed ring offsets mapped to (-size/2, size/2], with 0 (the node
+        # itself) always inside the span
+        lo = 0
+        hi = 0
+        for m in alive_leaves:
+            offset = (values[m] - node_value) % size
+            if offset > half:
+                offset -= size
+            if offset < lo:
+                lo = offset
+            elif offset > hi:
+                hi = offset
+        key_offset = (key_value - node_value) % size
+        if key_offset > half:
+            key_offset -= size
         if lo <= key_offset <= hi:
             best_node = node
-            best = (ring.circular_distance(node_value, key_value), node_value)
+            distance = node_value - key_value if node_value >= key_value else key_value - node_value
+            if distance > size - distance:
+                distance = size - distance
+            best = (distance, node_value)
             for m in alive_leaves:
-                rank = (
-                    ring.circular_distance(ids[m].value, key_value),
-                    ids[m].value,
-                )
+                m_value = values[m]
+                distance = m_value - key_value if m_value >= key_value else key_value - m_value
+                if distance > size - distance:
+                    distance = size - distance
+                rank = (distance, m_value)
                 if rank < best:
                     best = rank
                     best_node = m
@@ -80,10 +106,10 @@ def pastry_next_hop(
         return HopDecision(DELIVER, node, "self")
 
     # 2. routing-table cell
-    shared = ids[node].prefix_match_len(key)
+    shared = ring.prefix_len(node, key)
     if shared < key.space.num_digits:
         entry = table.get((shared, key.digit(shared)))
-        if entry is not None and alive(entry, "table"):
+        if entry is not None and (alive is None or alive(entry, "table")):
             return HopDecision(FORWARD, entry, "table")
 
     # 3. rare case: any known closer node with at least as long a prefix
@@ -96,15 +122,15 @@ def pastry_next_hop(
             if candidate == node or candidate in seen:
                 continue
             seen.add(candidate)
-            if not alive(candidate, kind):
+            if alive is not None and not alive(candidate, kind):
                 continue
-            prefix = ids[candidate].prefix_match_len(key)
+            prefix = ring.prefix_len(candidate, key)
             if prefix < shared:
                 continue
-            distance = ring.circular_distance(ids[candidate].value, key_value)
+            distance = ring.circular_distance(values[candidate], key_value)
             if distance >= own_distance:
                 continue
-            rank = (-prefix, distance, ids[candidate].value)
+            rank = (-prefix, distance, values[candidate])
             if best_rank is None or rank < best_rank:
                 best_rank = rank
                 best_candidate = candidate
@@ -125,15 +151,11 @@ def static_route(
 ) -> list[int]:
     """Route on a fully-online overlay; returns the node path including the
     origin and the delivery node."""
-
-    def always_alive(_candidate: int, _kind: str) -> bool:
-        return True
-
     path = [origin]
     node = origin
     for _ in range(max_hops):
         decision = pastry_next_hop(
-            node, key, ring, leaf_sets[node], tables[node], always_alive
+            node, key, ring, leaf_sets[node], tables[node], None
         )
         if decision.action == DELIVER:
             return path

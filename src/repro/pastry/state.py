@@ -15,13 +15,25 @@ from __future__ import annotations
 import bisect
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.core.identifiers import Identifier
 from repro.errors import ConfigurationError
 from repro.sim.rng import derive_rng
 
 
 class PastryRing:
-    """Sorted ring over node identifiers with root/leaf-set queries."""
+    """Sorted ring over node identifiers with root/leaf-set queries.
+
+    Besides the sorted order, the ring caches each node's raw identifier
+    value (``values``) and memoises shared-prefix lengths per
+    ``(node, key)`` — the digit decomposition at the core of every routing
+    step — so repeated lookups of the same objects never recompute them.
+    """
+
+    #: cap on the shared-prefix memo (ints in, ints out — tiny entries, but
+    #: unbounded key streams exist in principle)
+    PREFIX_CACHE_LIMIT = 1_000_000
 
     def __init__(self, ids: Sequence[Identifier]):
         if not ids:
@@ -35,6 +47,22 @@ class PastryRing:
         self.ring_order = sorted(range(n), key=lambda i: values[i])
         self.position_of = {node: pos for pos, node in enumerate(self.ring_order)}
         self.sorted_values = [values[node] for node in self.ring_order]
+        #: raw identifier value per node index (hot-path view; avoids an
+        #: attribute hop through ``ids[node].value`` per routing step)
+        self.values: tuple[int, ...] = tuple(values)
+        self._prefix_cache: dict[tuple[int, int], int] = {}
+
+    def prefix_len(self, node: int, key: Identifier) -> int:
+        """Memoised ``ids[node].prefix_match_len(key)`` (the per-hop digit
+        decomposition of the Pastry routing rule)."""
+        cache_key = (node, key.value)
+        cached = self._prefix_cache.get(cache_key)
+        if cached is None:
+            if len(self._prefix_cache) >= self.PREFIX_CACHE_LIMIT:
+                self._prefix_cache.clear()
+            cached = self.ids[node].prefix_match_len(key)
+            self._prefix_cache[cache_key] = cached
+        return cached
 
     @property
     def n(self) -> int:
@@ -105,30 +133,44 @@ def build_routing_tables(
     candidates we keep the lowest-latency one when a latency model is given
     (proximity neighbor selection); otherwise the scan order is shuffled
     per node so the pick is pseudo-random but deterministic.
+
+    Vectorised: per owner, one numpy pass over the shared digit matrix
+    yields every candidate's (prefix length, next digit) cell, and a single
+    stable sort realises the selection rule — first hit per cell in scan
+    order, which for the latency path (ascending scan, strict-``<``
+    replacement) is exactly "lowest latency, earliest index on ties".
     """
     ids = ring.ids
     n = ring.n
     rng = derive_rng(seed, "pastry-tables", n)
     base_order = list(range(n))
+    base = ring.space.base
+    digit_matrix = np.stack([identifier.digits_array for identifier in ids])
+    all_rows = np.arange(n)
     tables: list[dict[tuple[int, int], int]] = []
     for i in range(n):
-        order = base_order
+        mismatch = digit_matrix != digit_matrix[i]
+        prefix = mismatch.argmax(axis=1)  # identifiers are unique, so every
+        # j != i has a mismatch; row i itself is all-False (prefix 0) and is
+        # dropped from the scan order below
+        cells = prefix * base + digit_matrix[all_rows, prefix]
         if latency is None:
             order = base_order.copy()
             rng.shuffle(order)
+            order_arr = np.asarray(order)
+        else:
+            row = getattr(latency, "latency_row", None)
+            latencies = (
+                row(i, n) if row is not None
+                else [latency.latency(i, j) for j in range(n)]
+            )
+            order_arr = np.argsort(np.asarray(latencies), kind="stable")
+        order_arr = order_arr[order_arr != i]
+        _cells, first = np.unique(cells[order_arr], return_index=True)
         table: dict[tuple[int, int], int] = {}
-        id_i = ids[i]
-        for j in order:
-            if j == i:
-                continue
-            id_j = ids[j]
-            r = id_i.prefix_match_len(id_j)
-            cell = (r, id_j.digit(r))
-            current = table.get(cell)
-            if current is None:
-                table[cell] = j
-            elif latency is not None and latency.latency(i, j) < latency.latency(i, current):
-                table[cell] = j
+        for position in first.tolist():
+            j = int(order_arr[position])
+            table[(int(prefix[j]), int(digit_matrix[j, prefix[j]]))] = j
         tables.append(table)
     return tables
 

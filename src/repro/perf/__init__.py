@@ -1,0 +1,46 @@
+"""Hot-path performance tooling.
+
+This package makes per-operation cost a first-class, continuously tracked
+quantity (the ROADMAP's "as fast as the hardware allows" demands a meter
+before a target):
+
+- :mod:`repro.perf.profiler` — wrap any registered experiment in
+  ``time.perf_counter`` sampling plus an optional ``cProfile`` pass and
+  emit a machine-readable ``BENCH_<id>.json`` (wall-clock, events/sec,
+  top-k cumulative functions, git revision);
+- :mod:`repro.perf.regression` — compare fresh bench results against a
+  committed baseline and flag events/sec regressions (the CI gate).
+
+The ``mpil-experiments perf`` CLI command is the front door; see the
+README's "Performance" section.
+"""
+
+from repro.perf.profiler import (
+    BenchResult,
+    HotSpot,
+    bench_path,
+    load_bench,
+    profile_experiment,
+    write_bench,
+)
+from repro.perf.regression import (
+    BaselineEntry,
+    Regression,
+    check_regressions,
+    load_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "BaselineEntry",
+    "BenchResult",
+    "HotSpot",
+    "Regression",
+    "bench_path",
+    "check_regressions",
+    "load_baseline",
+    "load_bench",
+    "profile_experiment",
+    "write_baseline",
+    "write_bench",
+]

@@ -111,13 +111,9 @@ class AdversarialRemoval(ProcessBase):
         (Pastry neighbor lists) in-edges measure how much routing state
         *points at* a node, which is the coverage an adversary wants gone.
         """
-        n = overlay.n
-        totals = [overlay.degree(node) for node in range(n)]
-        if overlay.directed:
-            for node in range(n):
-                for neighbor in overlay.neighbors(node):
-                    totals[neighbor] += 1
-        return cls(totals, config, seed=seed, always_online=always_online)
+        return cls(
+            overlay.total_degrees, config, seed=seed, always_online=always_online
+        )
 
     def is_online(self, node: int, time: float) -> bool:
         """Removed nodes are gone for good once the attack starts."""

@@ -118,6 +118,12 @@ class FlappingSchedule(ProcessBase):
             for node in range(num_nodes)
         ]
         self._decisions: list[list[bool]] = [[] for _ in range(num_nodes)]
+        # hot-path copies of the config scalars: ``is_online`` is called for
+        # every hop of every perturbed lookup, where the attribute hops
+        # through the frozen dataclass add up
+        self._cycle = config.cycle
+        self._idle = config.idle_period
+        self._probability = config.probability
 
     def phase(self, node: int) -> float:
         """Time at which ``node`` first enters its flapping period."""
@@ -138,16 +144,18 @@ class FlappingSchedule(ProcessBase):
         """Ground-truth availability of ``node`` at ``time``."""
         if node in self.always_online:
             return True
-        if self.config.probability == 0.0:
+        if self._probability == 0.0:
             return True
         offset = time - self._phases[node]
         if offset < 0:
             return True  # before the node's first flapping period
-        cycle = self.config.cycle
-        cycle_index = int(math.floor(offset / cycle))
-        position = offset - cycle_index * cycle
-        if position < self.config.idle_period:
+        cycle = self._cycle
+        cycle_index = int(offset / cycle)  # floor: offset is non-negative
+        if offset - cycle_index * cycle < self._idle:
             return True
+        decisions = self._decisions[node]
+        if cycle_index < len(decisions):
+            return not decisions[cycle_index]
         return not self.goes_offline(node, cycle_index)
 
     def next_transition_after(self, node: int, time: float) -> float:

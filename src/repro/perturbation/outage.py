@@ -128,6 +128,16 @@ class RegionalOutage(ProcessBase):
             order = rng.sample(distinct, len(distinct))
             self.regions_down = frozenset(order[:count])
 
+        #: hot-path view: exactly the nodes the window can take offline
+        #: (affected region, not exempt), plus the window bounds as floats
+        self._affected = frozenset(
+            node
+            for node, region in enumerate(self.regions)
+            if region in self.regions_down and node not in self.always_online
+        )
+        self._start = config.start
+        self._end = config.end
+
     @property
     def num_regions(self) -> int:
         return len(set(self.regions))
@@ -139,9 +149,9 @@ class RegionalOutage(ProcessBase):
     def is_online(self, node: int, time: float) -> bool:
         """Ground-truth availability: offline iff in a dark region during
         the outage window."""
-        if node in self.always_online or not self.affects(node):
-            return True
-        return not (self.config.start <= time < self.config.end)
+        if node in self._affected:
+            return not (self._start <= time < self._end)
+        return True
 
     def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
         """The single outage window, for affected nodes that see it."""

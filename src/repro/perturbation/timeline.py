@@ -48,7 +48,10 @@ class ScenarioTimeline(ProcessBase):
 
     def is_online(self, node: int, time: float) -> bool:
         """Online iff online under every composed process."""
-        return all(p.is_online(node, time) for p in self.processes)
+        for process in self.processes:
+            if not process.is_online(node, time):
+                return False
+        return True
 
     def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
         """Union of the components' offline windows, merged maximal."""

@@ -18,7 +18,13 @@ the MSPastry-style timed simulations are driven by the event engine here.
 
 from repro.sim.availability import AlwaysOnline, AvailabilityModel
 from repro.sim.counters import TrafficCounters
-from repro.sim.engine import Event, EventScheduler, events_processed_total
+from repro.sim.engine import (
+    Event,
+    EventScheduler,
+    add_events_processed,
+    events_processed_total,
+    reset_events_processed,
+)
 from repro.sim.latency import ConstantLatency, LatencyModel, UnderlayLatency
 from repro.sim.rng import derive_rng, derive_seed
 
@@ -31,7 +37,9 @@ __all__ = [
     "LatencyModel",
     "TrafficCounters",
     "UnderlayLatency",
+    "add_events_processed",
     "derive_rng",
     "derive_seed",
     "events_processed_total",
+    "reset_events_processed",
 ]

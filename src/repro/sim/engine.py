@@ -1,55 +1,88 @@
 """A minimal heap-based discrete-event scheduler.
 
-The engine is intentionally small: events are ``(time, sequence, callback)``
-triples on a binary heap.  Ties in time are broken by insertion order, which
-makes runs deterministic.  Cancellation is lazy (events are flagged and
-skipped when popped), which keeps :meth:`EventScheduler.cancel` O(1).
+The engine is array-backed: the heap itself holds ``(time, seq, slot)``
+triples (compared in C, never through a Python ``__lt__``), while callback
+and argument references live in parallel slot arrays recycled through a
+freelist — so steady-state event churn allocates no per-event objects
+beyond the heap entry.  Ties in time are broken by insertion order, which
+makes runs deterministic.  Cancellation is lazy (cancelled sequence numbers
+are skipped when popped), which keeps :meth:`EventScheduler.cancel` O(1).
+
+:meth:`EventScheduler.post` is the hot-path entry: it schedules a callback
+without materialising an :class:`Event` handle.  :meth:`EventScheduler.run_until`
+drains every event up to a time bound in one tight loop (the batched form
+the timed drivers use), updating the process-wide event counter once per
+batch instead of once per event.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-from typing import Any, Callable, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
 
-#: process-wide count of events executed by *all* scheduler instances.
-#: Experiments create many short-lived schedulers (one per timed lookup),
-#: so per-instance ``processed`` undercounts a whole run; the sweep runner
-#: snapshots this total around each task to record event counts in the
-#: result-store manifest.
+#: process-wide count of events executed by *all* scheduler instances and
+#: synchronous drivers (see :func:`add_events_processed`).  Experiments
+#: create many short-lived schedulers (one per timed lookup), so
+#: per-instance ``processed`` undercounts a whole run; the sweep runner and
+#: the perf profiler reset/snapshot this total around each task to record
+#: event counts and events/sec in manifests and BENCH files.
 _TOTAL_PROCESSED = 0
 
 
 def events_processed_total() -> int:
-    """Events executed in this process, summed over every scheduler."""
+    """Events executed in this process, summed over every scheduler and
+    synchronous driver, since start or the last :func:`reset_events_processed`."""
     return _TOTAL_PROCESSED
 
 
+def reset_events_processed() -> int:
+    """Zero the process-wide event counter and return its previous value.
+
+    The sweep runner calls this at the start of every task (in the worker
+    process that executes it) so event counts and events/sec are never
+    polluted by earlier tasks that ran in the same pooled process.
+    """
+    global _TOTAL_PROCESSED
+    previous = _TOTAL_PROCESSED
+    _TOTAL_PROCESSED = 0
+    return previous
+
+
+def add_events_processed(count: int) -> None:
+    """Credit ``count`` simulation events to the process-wide counter.
+
+    The synchronous drivers (static MPIL message propagation, per-hop
+    Pastry routing) do discrete-event work without an
+    :class:`EventScheduler`; they tally locally and credit the total once
+    per request so ``events_processed_total`` reflects *all* simulation
+    work, not only scheduler callbacks.
+    """
+    global _TOTAL_PROCESSED
+    _TOTAL_PROCESSED += count
+
+
 class Event:
-    """A scheduled callback.  Returned by :meth:`EventScheduler.schedule`.
+    """A scheduled callback handle.  Returned by :meth:`EventScheduler.schedule`.
 
     Attributes
     ----------
     time:
         Absolute simulation time at which the callback fires.
+    seq:
+        Insertion sequence number (the deterministic tie-breaker).
     cancelled:
         True once :meth:`EventScheduler.cancel` has been called; cancelled
         events are skipped when their time arrives.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "cancelled")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: tuple):
+    def __init__(self, time: float, seq: int):
         self.time = time
         self.seq = seq
-        self.callback = callback
-        self.args = args
         self.cancelled = False
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -71,10 +104,33 @@ class EventScheduler:
     2.0
     """
 
+    __slots__ = (
+        "_now",
+        "_heap",
+        "_callbacks",
+        "_args",
+        "_free",
+        "_pending_seqs",
+        "_cancelled",
+        "_seq",
+        "_processed",
+    )
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[Event] = []
-        self._seq = itertools.count()
+        #: heap of (time, seq, slot) — compared left-to-right in C; seq is
+        #: unique, so slot never participates in a comparison
+        self._heap: List[Tuple[float, int, int]] = []
+        #: slot arrays recycled through the freelist
+        self._callbacks: List[Optional[Callable[..., None]]] = []
+        self._args: List[Optional[tuple]] = []
+        self._free: List[int] = []
+        #: sequence numbers still on the heap — what makes cancel() after
+        #: fire a true no-op instead of a leaked _cancelled entry
+        self._pending_seqs: set[int] = set()
+        #: sequence numbers cancelled before firing (discarded on pop)
+        self._cancelled: set[int] = set()
+        self._seq = 0
         self._processed = 0
 
     @property
@@ -92,15 +148,42 @@ class EventScheduler:
         """Total number of events executed so far."""
         return self._processed
 
+    def _push(self, time: float, callback: Callable[..., None], args: tuple) -> int:
+        """Allocate a slot (reusing the freelist) and push a heap entry."""
+        free = self._free
+        if free:
+            slot = free.pop()
+            self._callbacks[slot] = callback
+            self._args[slot] = args
+        else:
+            slot = len(self._callbacks)
+            self._callbacks.append(callback)
+            self._args.append(args)
+        seq = self._seq
+        self._seq = seq + 1
+        self._pending_seqs.add(seq)
+        heappush(self._heap, (time, seq, slot))
+        return seq
+
+    def post(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule ``callback(*args)`` at absolute time ``time`` without
+        creating an :class:`Event` handle (the hot path for fire-and-forget
+        events, which is every message in the timed drivers)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before current time t={self._now}"
+            )
+        self._push(float(time), callback, args)
+
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time``."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at t={time} before current time t={self._now}"
             )
-        event = Event(float(time), next(self._seq), callback, args)
-        heapq.heappush(self._heap, event)
-        return event
+        time = float(time)
+        seq = self._push(time, callback, args)
+        return Event(time, seq)
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` time units."""
@@ -111,26 +194,112 @@ class EventScheduler:
     def cancel(self, event: Event) -> None:
         """Cancel a scheduled event (no-op if it already fired)."""
         event.cancelled = True
+        if event.seq in self._pending_seqs:
+            self._cancelled.add(event.seq)
+
+    def _discard(self, slot: int) -> None:
+        """Release a slot back to the freelist, dropping its references."""
+        self._callbacks[slot] = None
+        self._args[slot] = None
+        self._free.append(slot)
 
     def peek_time(self) -> Optional[float]:
         """Time of the next non-cancelled event, or None if drained."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap and heap[0][1] in cancelled:
+            _time, seq, slot = heappop(heap)
+            cancelled.discard(seq)
+            self._pending_seqs.discard(seq)
+            self._discard(slot)
+        return heap[0][0] if heap else None
 
     def step(self) -> bool:
         """Execute the next event.  Returns False if the queue is empty."""
-        global _TOTAL_PROCESSED
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        cancelled = self._cancelled
+        while heap:
+            time, seq, slot = heappop(heap)
+            self._pending_seqs.discard(seq)
+            if seq in cancelled:
+                cancelled.discard(seq)
+                self._discard(slot)
                 continue
-            self._now = event.time
+            callback = self._callbacks[slot]
+            args = self._args[slot]
+            self._discard(slot)
+            self._now = time
             self._processed += 1
-            _TOTAL_PROCESSED += 1
-            event.callback(*event.args)
+            add_events_processed(1)
+            assert callback is not None and args is not None
+            callback(*args)
             return True
         return False
+
+    def _drain(self) -> int:
+        """Execute every remaining event (no time bound, clock follows the
+        events).  Returns the number executed."""
+        heap = self._heap
+        cancelled = self._cancelled
+        pending = self._pending_seqs
+        callbacks = self._callbacks
+        args_list = self._args
+        free = self._free
+        executed = 0
+        while heap:
+            time, seq, slot = heappop(heap)
+            pending.discard(seq)
+            callback = callbacks[slot]
+            args = args_list[slot]
+            callbacks[slot] = None
+            args_list[slot] = None
+            free.append(slot)
+            if seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now = time
+            executed += 1
+            assert callback is not None and args is not None
+            callback(*args)
+        self._processed += executed
+        add_events_processed(executed)
+        return executed
+
+    def run_until(self, until: float) -> int:
+        """Execute every event with time ``<= until`` in one batched loop,
+        then advance the clock to ``until``.  Returns the number executed.
+
+        This is the fast path behind :meth:`run`: one tight loop with the
+        heap and slot arrays in locals, and a single process-counter update
+        per batch rather than per event.
+        """
+        heap = self._heap
+        cancelled = self._cancelled
+        pending = self._pending_seqs
+        callbacks = self._callbacks
+        args_list = self._args
+        free = self._free
+        executed = 0
+        while heap and heap[0][0] <= until:
+            time, seq, slot = heappop(heap)
+            pending.discard(seq)
+            callback = callbacks[slot]
+            args = args_list[slot]
+            callbacks[slot] = None
+            args_list[slot] = None
+            free.append(slot)
+            if seq in cancelled:
+                cancelled.discard(seq)
+                continue
+            self._now = time
+            executed += 1
+            assert callback is not None and args is not None
+            callback(*args)
+        if until > self._now:
+            self._now = float(until)
+        self._processed += executed
+        add_events_processed(executed)
+        return executed
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run events until the queue drains, ``until`` is reached, or
@@ -140,10 +309,10 @@ class EventScheduler:
         the queue drains earlier, so repeated ``run(until=...)`` calls form a
         monotonic timeline.
         """
+        if max_events is None:
+            return self._drain() if until is None else self.run_until(until)
         executed = 0
-        while True:
-            if max_events is not None and executed >= max_events:
-                return executed
+        while executed < max_events:
             next_time = self.peek_time()
             if next_time is None:
                 break

@@ -82,10 +82,39 @@ class UnderlayLatency:
                 raise ConfigurationError(
                     f"attachment point {a} outside underlay of size {n_under}"
                 )
+        #: lazily materialised per-source rows of the overlay-level latency
+        #: matrix, as plain float lists (dict/list indexing beats a numpy
+        #: scalar read per message by an order of magnitude)
+        self._rows: dict[int, list[float]] = {}
+
+    def latency_row(self, src: int, n: int) -> list[float]:
+        """Latencies from overlay node ``src`` to overlay nodes ``0..n-1``.
+
+        ``n`` must not exceed the attachment size; rows are cached, so the
+        routing-table builder and the per-message hot path share them.
+        """
+        if n > len(self.attachment):
+            raise ConfigurationError(
+                f"latency row for {n} overlay nodes requested, but only "
+                f"{len(self.attachment)} nodes are attached to the underlay"
+            )
+        row = self._rows.get(src)
+        if row is None:
+            matrix = getattr(self.underlay, "latency_matrix", None)
+            if matrix is not None:
+                attached = list(self.attachment)
+                row = matrix()[self.attachment[src], attached].tolist()
+            else:
+                pairwise = self.underlay.pairwise_latency
+                source = self.attachment[src]
+                row = [pairwise(source, a) for a in self.attachment]
+            self._rows[src] = row
+        return row[:n] if n < len(row) else row
 
     def latency(self, src: int, dst: int) -> float:
         if src == dst:
             return 0.0
-        return self.underlay.pairwise_latency(
-            self.attachment[src], self.attachment[dst]
-        )
+        row = self._rows.get(src)
+        if row is None:
+            row = self.latency_row(src, len(self.attachment))
+        return row[dst]

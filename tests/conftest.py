@@ -10,6 +10,7 @@ from repro.core.config import MPILConfig
 from repro.core.identifiers import IdSpace
 from repro.core.network import MPILNetwork
 from repro.overlay.graph import OverlayGraph
+from repro.util.cache import clear_all_caches
 
 settings.register_profile(
     "repro",
@@ -18,6 +19,20 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_construction_caches():
+    """Empty the process-level construction caches around every test.
+
+    The overlay/ring/metric-table caches memoise pure construction per
+    process; a test that monkeypatches a generator (e.g. the transit-stub
+    factory) must not leak its products into — or inherit products from —
+    other tests through them.
+    """
+    clear_all_caches()
+    yield
+    clear_all_caches()
 
 
 @pytest.fixture(scope="session")

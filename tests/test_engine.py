@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim.engine import EventScheduler
+from repro.sim.engine import (
+    EventScheduler,
+    add_events_processed,
+    events_processed_total,
+    reset_events_processed,
+)
 
 
 class TestScheduling:
@@ -105,3 +110,101 @@ class TestRunBounds:
 
     def test_step_on_empty_queue(self):
         assert EventScheduler().step() is False
+
+    def test_max_events_with_until_advances_clock(self):
+        engine = EventScheduler()
+        engine.schedule(1.0, lambda: None)
+        engine.schedule(5.0, lambda: None)
+        assert engine.run(until=3.0, max_events=10) == 1
+        assert engine.now == 3.0
+
+
+class TestBatchedRunUntil:
+    def test_executes_events_up_to_and_including_bound(self):
+        engine = EventScheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule_at(t, fired.append, t)
+        assert engine.run_until(2.0) == 2
+        assert fired == [1.0, 2.0]
+        assert engine.now == 2.0
+
+    def test_advances_clock_past_drained_queue(self):
+        engine = EventScheduler()
+        assert engine.run_until(7.5) == 0
+        assert engine.now == 7.5
+
+    def test_skips_cancelled_in_batch(self):
+        engine = EventScheduler()
+        fired = []
+        keep = engine.schedule_at(1.0, fired.append, "keep")
+        drop = engine.schedule_at(2.0, fired.append, "drop")
+        engine.cancel(drop)
+        assert engine.run_until(10.0) == 1
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+        assert drop.cancelled is True
+
+    def test_events_scheduled_during_batch_run(self):
+        engine = EventScheduler()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 3:
+                engine.schedule(1.0, chain, depth + 1)
+
+        engine.schedule(0.0, chain, 0)
+        assert engine.run_until(2.0) == 3  # depths 0, 1, 2; depth 3 at t=3.0
+        assert engine.pending == 1
+
+
+class TestFreelist:
+    def test_slots_are_recycled(self):
+        engine = EventScheduler()
+        for _ in range(100):
+            engine.post(engine.now + 1.0, lambda: None)
+            engine.run()
+        # one live event at a time: the slot arrays must not grow per event
+        assert len(engine._callbacks) == 1
+
+    def test_post_rejects_past_times(self):
+        engine = EventScheduler(start_time=5.0)
+        with pytest.raises(SimulationError):
+            engine.post(4.0, lambda: None)
+
+    def test_cancel_after_fire_is_a_true_noop(self):
+        engine = EventScheduler()
+        events = [engine.schedule(1.0, lambda: None) for _ in range(50)]
+        engine.run()
+        for event in events:
+            engine.cancel(event)  # all already fired
+        assert engine._cancelled == set()
+        assert engine._pending_seqs == set()
+
+    def test_post_behaves_like_schedule_at(self):
+        engine = EventScheduler()
+        fired = []
+        engine.post(2.0, fired.append, "b")
+        engine.post(1.0, fired.append, "a")
+        assert engine.run() == 2
+        assert fired == ["a", "b"]
+
+
+class TestProcessCounter:
+    def test_reset_returns_previous_total(self):
+        reset_events_processed()
+        engine = EventScheduler()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        add_events_processed(5)
+        assert events_processed_total() == 6
+        assert reset_events_processed() == 6
+        assert events_processed_total() == 0
+
+    def test_step_counts_into_process_total(self):
+        reset_events_processed()
+        engine = EventScheduler()
+        engine.schedule(1.0, lambda: None)
+        assert engine.step() is True
+        assert events_processed_total() == 1

@@ -1,0 +1,594 @@
+"""Tests for the ``repro.perf`` subsystem and the hot-path rewrites.
+
+Three concerns:
+
+- the profiler: deterministic event counts across repeats, BENCH JSON
+  schema round-trip, the CLI ``perf`` command and its regression gate;
+- the regression module: baseline round-trip and the >tolerance rule;
+- the optimisations themselves: the rewritten ``pastry_next_hop``,
+  ``decide_forwarding``, and ``build_routing_tables`` are pinned against
+  straightforward reference implementations (the pre-optimisation
+  algorithms, kept verbatim here) on seeded random instances, and the new
+  cached views (scores-with-self, degrees, CSR adjacency) are pinned
+  against their unbatched counterparts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.config import MPILConfig
+from repro.core.identifiers import IdSpace
+from repro.core.network import MPILNetwork
+from repro.core.routing import decide_forwarding
+from repro.errors import ExperimentError
+from repro.experiments.cli import main
+from repro.experiments.runner import TaskOutcome
+from repro.experiments.store import ResultStore
+from repro.overlay.graph import OverlayGraph
+from repro.overlay.random_graphs import gnp_random_graph
+from repro.pastry.routing import pastry_next_hop
+from repro.pastry.state import PastryRing, build_leaf_sets, build_routing_tables
+from repro.perf.profiler import (
+    SCHEMA_VERSION,
+    BenchResult,
+    HotSpot,
+    bench_path,
+    load_bench,
+    profile_experiment,
+    write_bench,
+)
+from repro.perf.regression import (
+    BaselineEntry,
+    check_regressions,
+    load_baseline,
+    write_baseline,
+)
+from repro.sim.latency import UniformRandomLatency
+from repro.sim.rng import derive_rng
+from repro.util.cache import BoundedCache, clear_all_caches
+
+
+def make_bench(
+    experiment_id: str = "fig9",
+    events_per_sec: float = 1000.0,
+    events_processed: int = 500,
+) -> BenchResult:
+    return BenchResult(
+        experiment_id=experiment_id,
+        scale="smoke",
+        seed=0,
+        repeats=3,
+        warm=True,
+        wall_clock_best=events_processed / events_per_sec,
+        wall_clock_mean=events_processed / events_per_sec,
+        events_processed=events_processed,
+        events_per_sec=events_per_sec,
+        hotspots=(
+            HotSpot(
+                location="repro/x.py:1(f)", calls=3, total_time=0.1, cumulative_time=0.2
+            ),
+        ),
+        git_rev="deadbeef",
+    )
+
+
+class TestProfiler:
+    def test_event_counts_deterministic_across_repeats_and_calls(self):
+        first = profile_experiment(
+            "fig9", scale="smoke", seed=0, repeats=2, with_profile=False
+        )
+        second = profile_experiment(
+            "fig9", scale="smoke", seed=0, repeats=1, with_profile=False
+        )
+        assert first.events_processed == second.events_processed
+        assert first.events_processed > 0
+        assert first.events_per_sec > 0
+        assert first.wall_clock_best <= first.wall_clock_mean
+
+    def test_cold_mode_measures_same_events(self):
+        warm = profile_experiment(
+            "tab1", scale="smoke", seed=0, repeats=1, with_profile=False
+        )
+        cold = profile_experiment(
+            "tab1", scale="smoke", seed=0, repeats=1, warm=False, with_profile=False
+        )
+        assert warm.events_processed == cold.events_processed
+        assert cold.warm is False
+
+    def test_profile_pass_collects_hotspots(self):
+        result = profile_experiment(
+            "tab1", scale="smoke", seed=0, repeats=1, top=5
+        )
+        assert 0 < len(result.hotspots) <= 5
+        spot = result.hotspots[0]
+        assert spot.calls >= 1
+        assert ":" in spot.location
+        # top-k is cumulative-time ordered
+        cumulatives = [s.cumulative_time for s in result.hotspots]
+        assert cumulatives == sorted(cumulatives, reverse=True)
+
+    def test_validation_errors(self):
+        with pytest.raises(ExperimentError):
+            profile_experiment("no-such-experiment")
+        with pytest.raises(ExperimentError):
+            profile_experiment("fig9", scale="no-such-scale")
+        with pytest.raises(ExperimentError):
+            profile_experiment("fig9", repeats=0)
+        with pytest.raises(ExperimentError):
+            profile_experiment("fig9", top=-1)
+
+    def test_bench_round_trip(self, tmp_path):
+        result = make_bench()
+        path = write_bench(result, tmp_path)
+        assert path == bench_path(tmp_path, "fig9")
+        assert path.name == "BENCH_fig9.json"
+        assert load_bench(path) == result
+
+    def test_bench_schema_version_guard(self, tmp_path):
+        result = make_bench()
+        path = write_bench(result, tmp_path)
+        payload = json.loads(path.read_text())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ExperimentError, match="schema version"):
+            load_bench(path)
+
+    def test_load_bench_missing_file(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no BENCH file"):
+            load_bench(tmp_path / "BENCH_missing.json")
+
+    def test_summary_is_one_line_with_throughput(self):
+        summary = make_bench().summary()
+        assert "\n" not in summary
+        assert "events/s" in summary
+        assert "fig9" in summary
+
+
+class TestRegressionGate:
+    def test_within_tolerance_passes(self):
+        baseline = {"fig9": BaselineEntry(1000.0, 500, 0.5)}
+        measured = [make_bench(events_per_sec=850.0)]  # -15% with 20% tolerance
+        assert check_regressions(measured, baseline, tolerance=0.2) == []
+
+    def test_regression_detected_and_described(self):
+        baseline = {"fig9": BaselineEntry(1000.0, 400, 0.5)}
+        measured = [make_bench(events_per_sec=700.0)]  # -30%
+        found = check_regressions(measured, baseline, tolerance=0.2)
+        assert len(found) == 1
+        regression = found[0]
+        assert regression.experiment_id == "fig9"
+        assert regression.ratio == pytest.approx(0.7)
+        assert regression.events_count_changed is True  # 500 != 400
+        text = regression.describe()
+        assert "fig9" in text and "30.0%" in text and "event count changed" in text
+
+    def test_experiments_missing_from_baseline_are_skipped(self):
+        baseline = {"other": BaselineEntry(1e9, 1, 1.0)}
+        assert check_regressions([make_bench()], baseline) == []
+
+    def test_baseline_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([make_bench(), make_bench("ext-outage", 2000.0)], path, "smoke")
+        entries = load_baseline(path)
+        assert set(entries) == {"fig9", "ext-outage"}
+        assert entries["fig9"].events_per_sec == 1000.0
+        assert entries["ext-outage"].events_processed == 500
+
+    def test_baseline_errors(self, tmp_path):
+        with pytest.raises(ExperimentError, match="no baseline"):
+            load_baseline(tmp_path / "missing.json")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema_version": 99, "entries": {}}))
+        with pytest.raises(ExperimentError, match="schema version"):
+            load_baseline(bad)
+        with pytest.raises(ExperimentError, match="zero bench"):
+            write_baseline([], tmp_path / "b.json", "smoke")
+        with pytest.raises(ExperimentError, match="tolerance"):
+            check_regressions([make_bench()], {}, tolerance=1.5)
+
+    def test_committed_baseline_is_readable(self):
+        entries = load_baseline("benchmarks/baseline.json")
+        assert {"fig9", "ext-outage"} <= set(entries)
+
+
+class TestPerfCLI:
+    def test_perf_writes_bench_files(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        code = main(
+            ["perf", "tab1", "--scale", "smoke", "--repeats", "1", "--top", "0",
+             "--out", str(out)]
+        )
+        assert code == 0
+        payload = json.loads((out / "BENCH_tab1.json").read_text())
+        assert payload["experiment_id"] == "tab1"
+        assert payload["events_per_sec"] > 0
+        assert "events/s" in capsys.readouterr().out
+
+    def test_perf_check_gates_and_write_baseline(self, tmp_path, capsys):
+        out = tmp_path / "bench"
+        baseline = tmp_path / "baseline.json"
+        code = main(
+            ["perf", "tab1", "--scale", "smoke", "--repeats", "1", "--top", "0",
+             "--out", str(out), "--write-baseline", str(baseline)]
+        )
+        assert code == 0
+        assert load_baseline(baseline)["tab1"].events_per_sec > 0
+        # measured vs its own baseline: trivially within tolerance
+        code = main(
+            ["perf", "tab1", "--scale", "smoke", "--repeats", "2", "--top", "0",
+             "--out", str(out), "--check", str(baseline), "--tolerance", "0.9"]
+        )
+        assert code == 0
+        assert "no regressions" in capsys.readouterr().err
+        # an absurdly fast baseline must trip the gate
+        payload = json.loads(baseline.read_text())
+        payload["entries"]["tab1"]["events_per_sec"] = 1e12
+        baseline.write_text(json.dumps(payload))
+        code = main(
+            ["perf", "tab1", "--scale", "smoke", "--repeats", "1", "--top", "0",
+             "--out", str(out), "--check", str(baseline)]
+        )
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_perf_unknown_experiment_is_one_line_error(self, capsys):
+        code = main(["perf", "nope", "--scale", "smoke"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_check_gates_against_old_floor_when_rewriting_same_file(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "bench"
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "schema_version": 1,
+                    "scale": "smoke",
+                    "entries": {
+                        "tab1": {
+                            "events_per_sec": 1e12,  # unreachable old floor
+                            "events_processed": 1,
+                            "wall_clock_best": 1.0,
+                        }
+                    },
+                }
+            )
+        )
+        code = main(
+            ["perf", "tab1", "--scale", "smoke", "--repeats", "1", "--top", "0",
+             "--out", str(out), "--check", str(baseline),
+             "--write-baseline", str(baseline)]
+        )
+        # the gate compared against the OLD floor (and failed), even though
+        # the same file was refreshed afterwards
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().err
+        assert load_baseline(baseline)["tab1"].events_per_sec < 1e12
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations: the pre-optimisation algorithms, verbatim.
+# ---------------------------------------------------------------------------
+
+
+def reference_next_hop(node, key, ring, leaf_set, table, alive):
+    ids = ring.ids
+    node_value = ids[node].value
+    key_value = key.value
+    alive_leaves = [m for m in leaf_set if alive(m, "leafset")]
+    if alive_leaves:
+        offsets = [ring.signed_offset(node_value, ids[m].value) for m in alive_leaves]
+        lo = min(min(offsets), 0)
+        hi = max(max(offsets), 0)
+        key_offset = ring.signed_offset(node_value, key_value)
+        if lo <= key_offset <= hi:
+            best_node = node
+            best = (ring.circular_distance(node_value, key_value), node_value)
+            for m in alive_leaves:
+                rank = (ring.circular_distance(ids[m].value, key_value), ids[m].value)
+                if rank < best:
+                    best = rank
+                    best_node = m
+            if best_node == node:
+                return ("deliver", node, "self")
+            return ("forward", best_node, "leafset")
+    elif not leaf_set:
+        return ("deliver", node, "self")
+    shared = ids[node].prefix_match_len(key)
+    if shared < key.space.num_digits:
+        entry = table.get((shared, key.digit(shared)))
+        if entry is not None and alive(entry, "table"):
+            return ("forward", entry, "table")
+    own_distance = ring.circular_distance(node_value, key_value)
+    best_candidate = None
+    best_rank = None
+    seen: set[int] = set()
+    for kind, candidates in (("leafset", leaf_set), ("table", table.values())):
+        for candidate in candidates:
+            if candidate == node or candidate in seen:
+                continue
+            seen.add(candidate)
+            if not alive(candidate, kind):
+                continue
+            prefix = ids[candidate].prefix_match_len(key)
+            if prefix < shared:
+                continue
+            distance = ring.circular_distance(ids[candidate].value, key_value)
+            if distance >= own_distance:
+                continue
+            rank = (-prefix, distance, ids[candidate].value)
+            if best_rank is None or rank < best_rank:
+                best_rank = rank
+                best_candidate = candidate
+    if best_candidate is not None:
+        return ("forward", best_candidate, "fallback")
+    return ("deliver", node, "self")
+
+
+def reference_routing_tables(ring, latency=None, seed: object = 0):
+    ids = ring.ids
+    n = ring.n
+    rng = derive_rng(seed, "pastry-tables", n)
+    base_order = list(range(n))
+    tables = []
+    for i in range(n):
+        order = base_order
+        if latency is None:
+            order = base_order.copy()
+            rng.shuffle(order)
+        table: dict[tuple[int, int], int] = {}
+        id_i = ids[i]
+        for j in order:
+            if j == i:
+                continue
+            id_j = ids[j]
+            r = id_i.prefix_match_len(id_j)
+            cell = (r, id_j.digit(r))
+            current = table.get(cell)
+            if current is None:
+                table[cell] = j
+            elif latency is not None and latency.latency(i, j) < latency.latency(i, current):
+                table[cell] = j
+        tables.append(table)
+    return tables
+
+
+def _random_ring(n: int, seed: int) -> PastryRing:
+    space = IdSpace(bits=16, digit_bits=4)
+    rng = derive_rng(seed, "perf-test-ids")
+    return PastryRing(space.random_unique_identifiers(n, rng))
+
+
+class TestOptimizedRoutingMatchesReference:
+    """Regression pin: optimisation must never change a routing decision."""
+
+    def test_next_hop_parity_on_fixed_seed(self):
+        ring = _random_ring(24, seed=9)
+        leaf_sets = build_leaf_sets(ring, 8)
+        tables = build_routing_tables(ring, seed=9)
+        rng = derive_rng(9, "perf-test-queries")
+        space = ring.space
+        for trial in range(120):
+            node = rng.randrange(ring.n)
+            key = space.random_identifier(rng)
+            dead = set(rng.sample(range(ring.n), rng.randrange(0, ring.n // 2)))
+
+            def alive(candidate: int, _kind: str) -> bool:
+                return candidate not in dead
+
+            expected = reference_next_hop(
+                node, key, ring, leaf_sets[node], tables[node], alive
+            )
+            decision = pastry_next_hop(
+                node, key, ring, leaf_sets[node], tables[node], alive
+            )
+            assert (decision.action, decision.node, decision.source) == expected
+
+    def test_next_hop_all_alive_fast_path_matches_predicate(self):
+        ring = _random_ring(17, seed=4)
+        leaf_sets = build_leaf_sets(ring, 6)
+        tables = build_routing_tables(ring, seed=4)
+        rng = derive_rng(4, "perf-test-queries")
+        for _ in range(60):
+            node = rng.randrange(ring.n)
+            key = ring.space.random_identifier(rng)
+            via_none = pastry_next_hop(
+                node, key, ring, leaf_sets[node], tables[node], None
+            )
+            via_predicate = pastry_next_hop(
+                node, key, ring, leaf_sets[node], tables[node], lambda *_: True
+            )
+            assert via_none == via_predicate
+
+    def test_routing_tables_parity_without_latency(self):
+        ring = _random_ring(30, seed=5)
+        assert build_routing_tables(ring, seed=5) == reference_routing_tables(
+            ring, seed=5
+        )
+
+    def test_routing_tables_parity_with_latency(self):
+        ring = _random_ring(30, seed=6)
+        latency = UniformRandomLatency(0.01, 0.09, seed=6)
+        assert build_routing_tables(
+            ring, latency=latency, seed=6
+        ) == reference_routing_tables(ring, latency=latency, seed=6)
+
+    def test_prefix_len_memo_matches_identifier(self):
+        ring = _random_ring(12, seed=7)
+        rng = derive_rng(7, "keys")
+        for _ in range(40):
+            node = rng.randrange(ring.n)
+            key = ring.space.random_identifier(rng)
+            assert ring.prefix_len(node, key) == ring.ids[node].prefix_match_len(key)
+            # second call hits the memo
+            assert ring.prefix_len(node, key) == ring.ids[node].prefix_match_len(key)
+
+
+class TestDecideForwardingParity:
+    def test_list_and_array_inputs_agree(self):
+        rng = derive_rng(11, "decide")
+        for trial in range(80):
+            n = rng.randrange(1, 12)
+            neighbor_ids = rng.sample(range(100), n)
+            neighbor_scores = [rng.randrange(0, 6) for _ in range(n)]
+            excluded = set(rng.sample(neighbor_ids, rng.randrange(0, n)))
+            kwargs = dict(
+                self_score=rng.randrange(0, 6),
+                excluded=excluded,
+                max_flows=rng.randrange(0, 5),
+                given_flows=rng.randrange(0, 2),
+                tie_break=rng.choice(["random", "lowest-id"]),
+                local_max_rule=rng.choice(["all-neighbors", "unvisited-only"]),
+            )
+            from_arrays = decide_forwarding(
+                neighbor_ids=np.asarray(neighbor_ids, dtype=np.int64),
+                neighbor_scores=np.asarray(neighbor_scores, dtype=np.int32),
+                rng=random.Random(trial),
+                **kwargs,
+            )
+            from_lists = decide_forwarding(
+                neighbor_ids=tuple(neighbor_ids),
+                neighbor_scores=list(neighbor_scores),
+                rng=random.Random(trial),
+                **kwargs,
+            )
+            assert from_arrays == from_lists
+            assert all(isinstance(hop, int) for hop in from_arrays.next_hops)
+
+    def test_negative_scores_still_select_a_candidate(self):
+        # custom metrics may return negative scores; the single-pass rewrite
+        # must not treat them as worse-than-no-candidate
+        decision = decide_forwarding(
+            self_score=-10,
+            neighbor_ids=(1, 2, 3),
+            neighbor_scores=[-5, -2, -7],
+            excluded={3},
+            max_flows=2,
+            given_flows=0,
+            rng=random.Random(0),
+        )
+        assert decision.best_candidate_score == -2
+        assert decision.next_hops == (2,)
+        assert decision.is_local_max is False
+
+
+class TestCachedViews:
+    def test_scores_with_self_matches_unbatched(self):
+        overlay = gnp_random_graph(30, 0.2, seed=3)
+        network = MPILNetwork(overlay, config=MPILConfig(), seed=3)
+        table = network.metric_table
+        rng = derive_rng(3, "targets")
+        for _ in range(10):
+            target = network.space.random_identifier(rng)
+            for node in range(overlay.n):
+                combined = table.scores_with_self(node, target)
+                assert combined[0] == table.self_score(node, target)
+                assert combined[1:] == table.scores(node, target).tolist()
+                assert table.neighbor_list(node) == tuple(
+                    int(v) for v in table.neighbor_array(node)
+                )
+                # memoised: the same list object comes back
+                assert table.scores_with_self(node, target) is combined
+
+    def test_graph_degree_views(self):
+        overlay = gnp_random_graph(25, 0.15, seed=8)
+        assert overlay.degrees == tuple(
+            len(overlay.neighbors(u)) for u in range(overlay.n)
+        )
+        assert overlay.total_degrees == overlay.degrees  # undirected
+        indptr, indices = overlay.adjacency_arrays()
+        for u in range(overlay.n):
+            assert tuple(indices[indptr[u]:indptr[u + 1]]) == overlay.neighbors(u)
+        # cached: same arrays back
+        assert overlay.adjacency_arrays()[0] is indptr
+
+    def test_directed_total_degrees(self):
+        overlay = OverlayGraph([(1,), (2,), (1,)], directed=True)
+        # out: 1,1,1; in: node1 gets 2 (from 0 and 2), node2 gets 1
+        assert overlay.total_degrees == (1, 3, 2)
+
+
+class TestUnderlayLatencyRows:
+    def test_row_matches_pairwise_and_validates_size(self):
+        from repro.errors import ConfigurationError
+        from repro.overlay.transit_stub import TransitStubUnderlay
+        from repro.sim.latency import UnderlayLatency
+
+        underlay = TransitStubUnderlay.for_size(60, seed=1)
+        attachment = underlay.random_attachment(10, seed=2)
+        model = UnderlayLatency(underlay, attachment)
+        row = model.latency_row(3, 10)
+        assert len(row) == 10
+        for dst in range(10):
+            if dst != 3:
+                assert row[dst] == pytest.approx(model.latency(3, dst))
+        with pytest.raises(ConfigurationError, match="attached"):
+            model.latency_row(0, 11)
+
+
+class TestBoundedCache:
+    def test_lru_eviction_and_refresh(self):
+        cache: BoundedCache[int] = BoundedCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refreshes "a" to most-recent
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_maxsize_validated(self):
+        with pytest.raises(ValueError):
+            BoundedCache(maxsize=0)
+
+    def test_clear_all_caches_empties_instances(self):
+        cache: BoundedCache[int] = BoundedCache(maxsize=4)
+        cache.put("x", 1)
+        clear_all_caches()
+        assert cache.get("x") is None
+
+    def test_get_or_build_calls_factory_once(self):
+        cache: BoundedCache[int] = BoundedCache(maxsize=4)
+        calls = []
+
+        def factory() -> int:
+            calls.append(1)
+            return 42
+
+        assert cache.get_or_build("k", factory) == 42
+        assert cache.get_or_build("k", factory) == 42
+        assert len(calls) == 1
+
+
+class TestEventsPerSecPlumbing:
+    def test_manifest_records_events_per_sec(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+
+        store = ResultStore(tmp_path)
+        result = ExperimentResult("fig0", "t", ("a",), [(1,)], scale="smoke")
+        store.save(result, seed=0, wall_clock=2.0, events_processed=100)
+        manifest = store.manifest("fig0", "smoke")
+        assert manifest["runs"]["seed_0"]["events_per_sec"] == 50.0
+
+    def test_untimed_save_records_zero(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+
+        store = ResultStore(tmp_path)
+        result = ExperimentResult("fig0", "t", ("a",), [(1,)], scale="smoke")
+        store.save(result, seed=1)
+        assert store.manifest("fig0", "smoke")["runs"]["seed_1"]["events_per_sec"] == 0.0
+
+    def test_task_outcome_events_per_sec(self):
+        outcome = TaskOutcome("fig9", "smoke", 0, {}, wall_clock=2.0, events_processed=50)
+        assert outcome.events_per_sec == 25.0
+        zero = TaskOutcome("fig9", "smoke", 0, {}, wall_clock=0.0, events_processed=50)
+        assert zero.events_per_sec == 0.0
