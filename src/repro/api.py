@@ -1,0 +1,138 @@
+"""repro.api — the one-stop facade over the experiment layer.
+
+Four verbs cover the workflow end to end:
+
+- :func:`list_experiments` — registered specs with their metadata (tags,
+  paper figure, scenario family), optionally filtered by tags;
+- :func:`run` — one experiment (by id, or an unregistered
+  :class:`~repro.experiments.spec.ExperimentSpec`) at one seed;
+- :func:`sweep` — experiments x seeds, optionally across a worker pool,
+  persisting replicates and aggregates through a
+  :class:`~repro.experiments.store.ResultStore`;
+- :func:`compose` — build a runnable spec from a declarative TOML file or
+  dict (see :mod:`repro.experiments.compose`), no module required.
+
+Example::
+
+    from repro import api
+
+    print([spec.experiment_id for spec in api.list_experiments(tags=("ext",))])
+    result = api.run("fig9", scale="smoke", seed=1)
+    report = api.sweep(["fig9", "tab1"], seeds="0..3", scale="smoke", jobs=2)
+    custom = api.compose("severity-sweep.toml")
+    print(api.run(custom, scale="smoke").table())
+
+Composed specs can also be registered (``api.compose(path,
+register_spec=True)``) so they resolve by id like any built-in — which is
+what the ``mpil-experiments compose`` command does before routing the run
+through the result store.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Iterable, Mapping, Union
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.compose import compose_spec, load_spec_file
+from repro.experiments.registry import (
+    get_spec,
+    list_experiments as _registry_list,
+    register,
+    run_experiment,
+    unregister,
+)
+from repro.experiments.runner import SweepReport, SweepSpec, parse_seeds, run_sweep
+from repro.experiments.scales import Scale
+from repro.experiments.spec import ExperimentSpec
+from repro.experiments.store import ResultStore
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "SweepReport",
+    "compose",
+    "get",
+    "list_experiments",
+    "register",
+    "run",
+    "sweep",
+    "unregister",
+]
+
+
+def list_experiments(tags: Iterable[str] = ()) -> list[ExperimentSpec]:
+    """Registered experiment specs, optionally filtered by tags.
+
+    >>> from repro import api
+    >>> all(spec.matches_tags(("ext",)) for spec in api.list_experiments(("ext",)))
+    True
+    """
+    return _registry_list(tags)
+
+
+def run(
+    experiment: Union[str, ExperimentSpec],
+    scale: Union[str, Scale] = "default",
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run one experiment — a registered id or a composed spec."""
+    if isinstance(experiment, ExperimentSpec):
+        return experiment.run(scale=scale, seed=seed)
+    return run_experiment(experiment, scale=scale, seed=seed)
+
+
+def sweep(
+    experiments: Union[str, Iterable[str]],
+    seeds: Union[str, Iterable[int]] = "0..9",
+    scale: str = "default",
+    jobs: int = 1,
+    store: Union[ResultStore, str, pathlib.Path, None] = None,
+) -> SweepReport:
+    """Run registered experiments over a seed set, like the CLI ``sweep``.
+
+    ``seeds`` accepts the CLI's spec syntax (``"0..9"``, ``"0,2,5"``,
+    ``"7"``) or an iterable of ints; ``store`` may be a
+    :class:`~repro.experiments.store.ResultStore`, a directory path, or
+    ``None`` to keep results in memory only.
+    """
+    if isinstance(experiments, str):
+        experiments = (experiments,)
+    if isinstance(seeds, str):
+        seed_tuple = parse_seeds(seeds)
+    else:
+        seed_tuple = tuple(seeds)
+    if isinstance(store, (str, pathlib.Path)):
+        store = ResultStore(store)
+    spec = SweepSpec(
+        experiment_ids=tuple(experiments), seeds=seed_tuple, scale=scale
+    )
+    return run_sweep(spec, store, jobs=jobs)
+
+
+def compose(
+    source: Union[Mapping, str, pathlib.Path],
+    register_spec: bool = False,
+) -> ExperimentSpec:
+    """Build an :class:`ExperimentSpec` from a TOML/JSON file or a dict.
+
+    With ``register_spec=True`` the composed spec is also added to the
+    registry (duplicate ids rejected), so it resolves by id in
+    :func:`run` and — within this process — :func:`sweep`; remove it
+    again with :func:`unregister`.  Runtime registrations live only in
+    the registering process: sweep composed specs with ``jobs=1``, or on
+    a fork-based platform (Linux), where pool workers inherit them —
+    spawn-based workers (macOS/Windows) re-import the registry and see
+    only the built-ins.
+    """
+    if isinstance(source, (str, pathlib.Path)):
+        source = load_spec_file(source)
+    spec = compose_spec(source)
+    if register_spec:
+        register(spec)
+    return spec
+
+
+def get(experiment_id: str) -> ExperimentSpec:
+    """The registered spec for an id (metadata access without running)."""
+    return get_spec(experiment_id)

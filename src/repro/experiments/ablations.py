@@ -11,181 +11,212 @@
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 from repro.core.config import MPILConfig
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.scales import get_scale
-from repro.experiments.workloads import run_inserts, run_lookups
+from repro.experiments.base import mean
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
+from repro.experiments.workloads import StaticRun, run_inserts, run_lookups
 
 METRICS = ("common-digits", "prefix", "suffix")
 
 
-def run_metric_ablation(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    n = resolved.static_node_counts[0]
-    rows = []
-    for metric in METRICS:
-        config = MPILConfig(max_flows=10, per_flow_replicas=5, metric=metric)
-        successes = 0
-        total = 0
-        traffic: list[float] = []
-        replicas: list[float] = []
-        for graph_index in range(resolved.static_graphs):
-            run_data = run_inserts(
-                "power-law",
-                n,
-                graph_index,
-                resolved.static_ops,
-                (seed, "metric", metric),
-                config=config,
-            )
-            for result in run_data.insert_results:
-                replicas.append(result.replica_count)
-            for lookup in run_lookups(run_data, 10, 5, (seed, "metric", metric)):
-                successes += int(lookup.success)
-                total += 1
-                traffic.append(lookup.traffic)
-        rows.append(
-            (
-                metric,
-                round(100.0 * successes / total, 1) if total else 0.0,
-                round(mean(replicas), 2),
-                round(mean(traffic), 2),
-            )
+def _metric_measure(ctx: RunContext, built: None, metric: str) -> Iterable[tuple]:
+    config = MPILConfig(max_flows=10, per_flow_replicas=5, metric=metric)
+    successes = 0
+    total = 0
+    traffic: list[float] = []
+    replicas: list[float] = []
+    n = ctx.scale.static_node_counts[0]
+    for graph_index in range(ctx.scale.static_graphs):
+        run_data = run_inserts(
+            "power-law",
+            n,
+            graph_index,
+            ctx.scale.static_ops,
+            (ctx.seed, "metric", metric),
+            config=config,
         )
-    return ExperimentResult(
-        experiment_id="ablation-metric",
-        title="Routing metric ablation on power-law overlays (Section 4.2 claim)",
+        for result in run_data.insert_results:
+            replicas.append(result.replica_count)
+        for lookup in run_lookups(run_data, 10, 5, (ctx.seed, "metric", metric)):
+            successes += int(lookup.success)
+            total += 1
+            traffic.append(lookup.traffic)
+    return [
+        (
+            metric,
+            round(100.0 * successes / total, 1) if total else 0.0,
+            round(mean(replicas), 2),
+            round(mean(traffic), 2),
+        )
+    ]
+
+
+@experiment(
+    id="ablation-metric",
+    title="Routing metric ablation on power-law overlays (Section 4.2 claim)",
+    tags=("ablation", "static", "metric"),
+)
+def metric_spec() -> Pipeline:
+    return Pipeline(
         columns=("metric", "lookup_success_%", "avg_insert_replicas", "avg_lookup_traffic"),
-        rows=rows,
+        key_columns=("metric",),
+        cells=lambda ctx, built: METRICS,
+        measure=_metric_measure,
         notes=(
             "prefix/suffix metrics cannot distinguish neighbors (nearly all "
             "tie at score 0), so under MPIL's tie-splitting they degenerate "
             "into flooding: comparable success at much higher traffic and "
             "replica cost; common-digits achieves it cheaply"
         ),
-        scale=resolved.name,
-        key_columns=('metric',),
     )
 
 
-def run_ds_ablation(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    n = resolved.static_node_counts[0]
-    rows = []
+def _ds_cells(ctx: RunContext, built: None) -> Iterator[tuple[str, bool]]:
     for family in ("power-law", "random"):
         for suppress in (True, False):
-            config = MPILConfig(
-                max_flows=30, per_flow_replicas=5, duplicate_suppression=suppress
-            )
-            replicas: list[float] = []
-            traffic: list[float] = []
-            duplicates: list[float] = []
-            for graph_index in range(resolved.static_graphs):
-                run_data = run_inserts(
-                    family,
-                    n,
-                    graph_index,
-                    resolved.static_ops,
-                    (seed, "ds", suppress),
-                    config=config,
-                )
-                for result in run_data.insert_results:
-                    replicas.append(result.replica_count)
-                    traffic.append(result.traffic)
-                    duplicates.append(result.duplicates)
-            rows.append(
-                (
-                    family,
-                    "on" if suppress else "off",
-                    round(mean(replicas), 2),
-                    round(mean(traffic), 2),
-                    round(mean(duplicates), 2),
-                )
-            )
-    return ExperimentResult(
-        experiment_id="ablation-ds",
-        title="Duplicate suppression ablation (static insertion)",
-        columns=("family", "ds", "avg_replicas", "avg_traffic", "avg_duplicates"),
-        rows=rows,
-        notes="DS trades replicas/coverage for traffic on static overlays",
-        scale=resolved.name,
-        key_columns=('family', 'ds'),
-    )
+            yield family, suppress
 
 
-def run_flows_ablation(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    n = resolved.static_node_counts[0]
-    rows = []
-    runs = [
-        run_inserts("power-law", n, graph_index, resolved.static_ops, seed)
-        for graph_index in range(resolved.static_graphs)
+def _ds_measure(ctx: RunContext, built: None, cell: tuple[str, bool]) -> Iterable[tuple]:
+    family, suppress = cell
+    config = MPILConfig(max_flows=30, per_flow_replicas=5, duplicate_suppression=suppress)
+    replicas: list[float] = []
+    traffic: list[float] = []
+    duplicates: list[float] = []
+    n = ctx.scale.static_node_counts[0]
+    for graph_index in range(ctx.scale.static_graphs):
+        run_data = run_inserts(
+            family,
+            n,
+            graph_index,
+            ctx.scale.static_ops,
+            (ctx.seed, "ds", suppress),
+            config=config,
+        )
+        for result in run_data.insert_results:
+            replicas.append(result.replica_count)
+            traffic.append(result.traffic)
+            duplicates.append(result.duplicates)
+    return [
+        (
+            family,
+            "on" if suppress else "off",
+            round(mean(replicas), 2),
+            round(mean(traffic), 2),
+            round(mean(duplicates), 2),
+        )
     ]
-    for max_flows in (1, 2, 5, 10, 20, 30):
-        successes = 0
-        total = 0
-        traffic: list[float] = []
-        flows: list[float] = []
-        for run_data in runs:
-            for lookup in run_lookups(run_data, max_flows, 3, (seed, "flows")):
-                successes += int(lookup.success)
-                total += 1
-                traffic.append(lookup.traffic)
-                flows.append(lookup.flows_created)
-        rows.append(
-            (
-                max_flows,
-                round(100.0 * successes / total, 1) if total else 0.0,
-                round(mean(traffic), 2),
-                round(mean(flows), 2),
-            )
+
+
+@experiment(
+    id="ablation-ds",
+    title="Duplicate suppression ablation (static insertion)",
+    tags=("ablation", "static", "insertion"),
+)
+def ds_spec() -> Pipeline:
+    return Pipeline(
+        columns=("family", "ds", "avg_replicas", "avg_traffic", "avg_duplicates"),
+        key_columns=("family", "ds"),
+        cells=_ds_cells,
+        measure=_ds_measure,
+        notes="DS trades replicas/coverage for traffic on static overlays",
+    )
+
+
+def _flows_build(ctx: RunContext) -> list[StaticRun]:
+    n = ctx.scale.static_node_counts[0]
+    return [
+        run_inserts("power-law", n, graph_index, ctx.scale.static_ops, ctx.seed)
+        for graph_index in range(ctx.scale.static_graphs)
+    ]
+
+
+def _flows_measure(
+    ctx: RunContext, runs: list[StaticRun], max_flows: int
+) -> Iterable[tuple]:
+    successes = 0
+    total = 0
+    traffic: list[float] = []
+    flows: list[float] = []
+    for run_data in runs:
+        for lookup in run_lookups(run_data, max_flows, 3, (ctx.seed, "flows")):
+            successes += int(lookup.success)
+            total += 1
+            traffic.append(lookup.traffic)
+            flows.append(lookup.flows_created)
+    return [
+        (
+            max_flows,
+            round(100.0 * successes / total, 1) if total else 0.0,
+            round(mean(traffic), 2),
+            round(mean(flows), 2),
         )
-    return ExperimentResult(
-        experiment_id="ablation-flows",
-        title="Lookup success vs max_flows budget (power-law overlays)",
+    ]
+
+
+@experiment(
+    id="ablation-flows",
+    title="Lookup success vs max_flows budget (power-law overlays)",
+    tags=("ablation", "static", "lookup"),
+)
+def flows_spec() -> Pipeline:
+    return Pipeline(
         columns=("max_flows", "success_%", "avg_traffic", "avg_actual_flows"),
-        rows=rows,
+        key_columns=("max_flows",),
+        build=_flows_build,
+        cells=lambda ctx, built: (1, 2, 5, 10, 20, 30),
+        measure=_flows_measure,
         notes="diminishing returns in the flow budget; traffic grows with it",
-        scale=resolved.name,
-        key_columns=('max_flows',),
     )
 
 
-def run_tiebreak_ablation(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    n = resolved.static_node_counts[0]
-    rows = []
-    for tie_break in ("random", "lowest-id"):
-        config = MPILConfig(max_flows=10, per_flow_replicas=5, tie_break=tie_break)
-        successes = 0
-        total = 0
-        traffic: list[float] = []
-        for graph_index in range(resolved.static_graphs):
-            run_data = run_inserts(
-                "power-law",
-                n,
-                graph_index,
-                resolved.static_ops,
-                (seed, "tiebreak", tie_break),
-                config=config,
-            )
-            for lookup in run_lookups(run_data, 10, 5, (seed, "tiebreak", tie_break)):
-                successes += int(lookup.success)
-                total += 1
-                traffic.append(lookup.traffic)
-        rows.append(
-            (
-                tie_break,
-                round(100.0 * successes / total, 1) if total else 0.0,
-                round(mean(traffic), 2),
-            )
+def _tiebreak_measure(ctx: RunContext, built: None, tie_break: str) -> Iterable[tuple]:
+    config = MPILConfig(max_flows=10, per_flow_replicas=5, tie_break=tie_break)
+    successes = 0
+    total = 0
+    traffic: list[float] = []
+    n = ctx.scale.static_node_counts[0]
+    for graph_index in range(ctx.scale.static_graphs):
+        run_data = run_inserts(
+            "power-law",
+            n,
+            graph_index,
+            ctx.scale.static_ops,
+            (ctx.seed, "tiebreak", tie_break),
+            config=config,
         )
-    return ExperimentResult(
-        experiment_id="ablation-tiebreak",
-        title="Tie-breaking policy ablation (power-law overlays)",
+        for lookup in run_lookups(run_data, 10, 5, (ctx.seed, "tiebreak", tie_break)):
+            successes += int(lookup.success)
+            total += 1
+            traffic.append(lookup.traffic)
+    return [
+        (
+            tie_break,
+            round(100.0 * successes / total, 1) if total else 0.0,
+            round(mean(traffic), 2),
+        )
+    ]
+
+
+@experiment(
+    id="ablation-tiebreak",
+    title="Tie-breaking policy ablation (power-law overlays)",
+    tags=("ablation", "static", "routing"),
+)
+def tiebreak_spec() -> Pipeline:
+    return Pipeline(
         columns=("tie_break", "success_%", "avg_traffic"),
-        rows=rows,
+        key_columns=("tie_break",),
+        cells=lambda ctx, built: ("random", "lowest-id"),
+        measure=_tiebreak_measure,
         notes="success should be insensitive to the tie-break policy",
-        scale=resolved.name,
-        key_columns=('tie_break',),
     )
+
+
+run_metric_ablation = metric_spec.run
+run_ds_ablation = ds_spec.run
+run_flows_ablation = flows_spec.run
+run_tiebreak_ablation = tiebreak_spec.run

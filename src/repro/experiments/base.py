@@ -41,14 +41,26 @@ class ExperimentResult:
             text += f"\nnotes: {self.notes}"
         return text
 
+    def _column_index(self, name: str) -> int:
+        """Index of a column, or an :class:`ExperimentError` naming the
+        available columns (one-line-error convention: callers print it,
+        they never see a bare ``ValueError`` traceback)."""
+        try:
+            return self.columns.index(name)
+        except ValueError:
+            raise ExperimentError(
+                f"unknown column {name!r} in {self.experiment_id}; "
+                f"available columns: {', '.join(self.columns)}"
+            ) from None
+
     def column(self, name: str) -> list[Any]:
         """Extract one column by name."""
-        index = self.columns.index(name)
+        index = self._column_index(name)
         return [row[index] for row in self.rows]
 
     def filtered(self, **criteria: Any) -> list[tuple]:
         """Rows matching all column=value criteria."""
-        indices = {name: self.columns.index(name) for name in criteria}
+        indices = {name: self._column_index(name) for name in criteria}
         return [
             row
             for row in self.rows

@@ -11,9 +11,12 @@ walks — on success rate and traffic.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.baselines import flood_lookup, random_walk_lookup
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.scales import get_scale
+from repro.experiments.base import mean
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.experiments.workloads import run_inserts, run_lookups
 from repro.sim.rng import derive_rng
 
@@ -25,82 +28,84 @@ WALKERS = 10
 WALK_STEPS = 50
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    n = resolved.static_node_counts[0]
-    rows = []
-    for family in ("power-law", "random"):
-        runs = [
-            run_inserts(family, n, graph_index, resolved.static_ops, seed)
-            for graph_index in range(resolved.static_graphs)
-        ]
-        strategies: dict[str, tuple[int, list[float]]] = {}
+def _measure(ctx: RunContext, built: None, family: str) -> Iterable[tuple]:
+    n = ctx.scale.static_node_counts[0]
+    seed = ctx.seed
+    runs = [
+        run_inserts(family, n, graph_index, ctx.scale.static_ops, seed)
+        for graph_index in range(ctx.scale.static_graphs)
+    ]
+    strategies: dict[str, tuple[int, list[float]]] = {}
 
-        # MPIL lookups (10, 5), the paper's saturating setting.
-        successes, traffic = 0, []
-        total = 0
-        for run_data in runs:
-            for result in run_lookups(run_data, 10, 5, seed):
-                successes += int(result.success)
-                traffic.append(result.traffic)
-                total += 1
-        strategies["mpil(10,5)"] = (successes, traffic)
+    # MPIL lookups (10, 5), the paper's saturating setting.
+    successes, traffic = 0, []
+    total = 0
+    for run_data in runs:
+        for result in run_lookups(run_data, 10, 5, seed):
+            successes += int(result.success)
+            traffic.append(result.traffic)
+            total += 1
+    strategies["mpil(10,5)"] = (successes, traffic)
 
-        # Flooding with a Gnutella-ish TTL.
-        successes, traffic = 0, []
-        for run_data in runs:
-            rng = derive_rng(seed, "flood", family, run_data.graph_index)
-            for object_id in run_data.objects:
-                origin = rng.randrange(run_data.network.overlay.n)
-                outcome = flood_lookup(
-                    run_data.network.overlay,
-                    run_data.network.directory,
-                    origin,
-                    object_id,
-                    ttl=FLOOD_TTL,
-                )
-                successes += int(outcome.success)
-                traffic.append(outcome.traffic)
-        strategies[f"flood(ttl={FLOOD_TTL})"] = (successes, traffic)
-
-        # Independent random walks.
-        successes, traffic = 0, []
-        for run_data in runs:
-            rng = derive_rng(seed, "walks", family, run_data.graph_index)
-            for object_id in run_data.objects:
-                origin = rng.randrange(run_data.network.overlay.n)
-                outcome = random_walk_lookup(
-                    run_data.network.overlay,
-                    run_data.network.directory,
-                    origin,
-                    object_id,
-                    walkers=WALKERS,
-                    max_steps=WALK_STEPS,
-                    rng=rng,
-                )
-                successes += int(outcome.success)
-                traffic.append(outcome.traffic)
-        strategies[f"walks({WALKERS}x{WALK_STEPS})"] = (successes, traffic)
-
-        for name, (wins, msgs) in strategies.items():
-            rows.append(
-                (
-                    family,
-                    name,
-                    round(100.0 * wins / total, 1),
-                    round(mean(msgs), 1),
-                )
+    # Flooding with a Gnutella-ish TTL.
+    successes, traffic = 0, []
+    for run_data in runs:
+        rng = derive_rng(seed, "flood", family, run_data.graph_index)
+        for object_id in run_data.objects:
+            origin = rng.randrange(run_data.network.overlay.n)
+            outcome = flood_lookup(
+                run_data.network.overlay,
+                run_data.network.directory,
+                origin,
+                object_id,
+                ttl=FLOOD_TTL,
             )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+            successes += int(outcome.success)
+            traffic.append(outcome.traffic)
+    strategies[f"flood(ttl={FLOOD_TTL})"] = (successes, traffic)
+
+    # Independent random walks.
+    successes, traffic = 0, []
+    for run_data in runs:
+        rng = derive_rng(seed, "walks", family, run_data.graph_index)
+        for object_id in run_data.objects:
+            origin = rng.randrange(run_data.network.overlay.n)
+            outcome = random_walk_lookup(
+                run_data.network.overlay,
+                run_data.network.directory,
+                origin,
+                object_id,
+                walkers=WALKERS,
+                max_steps=WALK_STEPS,
+                rng=rng,
+            )
+            successes += int(outcome.success)
+            traffic.append(outcome.traffic)
+    strategies[f"walks({WALKERS}x{WALK_STEPS})"] = (successes, traffic)
+
+    return [
+        (family, name, round(100.0 * wins / total, 1), round(mean(msgs), 1))
+        for name, (wins, msgs) in strategies.items()
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("baseline", "static", "lookup"),
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=("family", "strategy", "success_%", "avg_traffic"),
-        rows=rows,
+        key_columns=("family", "strategy"),
+        cells=lambda ctx, built: ("power-law", "random"),
+        measure=_measure,
         notes=(
             "identical replica placement (MPIL inserts at (30,5)); flooding "
             "and random walks match MPIL's success only by spending 20-1000x "
             "its traffic — the paper's 'best of both worlds' point"
         ),
-        scale=resolved.name,
-        key_columns=('family', 'strategy'),
     )
+
+
+run = spec.run

@@ -1,11 +1,13 @@
-"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|perf ...``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|compose|perf``.
 
-Five commands:
+Six commands:
 
-- ``list`` — show every registered experiment id and title;
+- ``list`` — show every registered experiment id and title, with
+  ``--tags`` filtering on the registry metadata (``list --tags ext``);
 - ``scenarios`` — show the perturbation-scenario catalogue (one line per
-  availability-process family with its registered experiment), one
-  family's details, or a figure's flapping sweep cells;
+  availability-process family with the experiments that sweep it, joined
+  from the registry metadata), one family's details, or a figure's
+  flapping sweep cells;
 - ``run``  — run experiments one seed at a time, print their tables, and
   (with ``--out``) persist each replicate through the result store plus a
   legacy ``<id>_<scale>_seed<seed>.txt`` table;
@@ -13,6 +15,8 @@ Five commands:
   worker pool, persisting per-seed JSON artifacts and a mean/stdev/ci95
   aggregate per experiment (see :mod:`repro.experiments.runner` and
   :mod:`repro.experiments.store`);
+- ``compose`` — build an experiment from a declarative TOML/JSON spec
+  (see :mod:`repro.experiments.compose`) and run it, no module required;
 - ``perf`` — profile experiments (events/sec, wall clock, cProfile top-k)
   into ``BENCH_<id>.json`` files, optionally gating against a committed
   ``benchmarks/baseline.json`` (see :mod:`repro.perf`).
@@ -25,6 +29,7 @@ byte-identical across reruns of the same spec, regardless of ``--jobs``.
 Examples::
 
     mpil-experiments list
+    mpil-experiments list --tags ext
     mpil-experiments scenarios
     mpil-experiments scenarios regional-outage
     mpil-experiments scenarios --figure fig11
@@ -32,6 +37,7 @@ Examples::
     mpil-experiments run all --scale default --out results/
     mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format json
     mpil-experiments sweep fig9 --seeds 0,2,5 --scale smoke --format csv
+    mpil-experiments compose my-sweep.toml --scale smoke --seed 1
     mpil-experiments perf fig9 ext-outage --scale smoke --check benchmarks/baseline.json
 
 (Without an installed entry point, invoke the same CLI as
@@ -48,9 +54,16 @@ import time
 from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError, ExperimentError
-from repro.experiments.registry import all_experiment_ids, get_experiment, run_experiment
+from repro.experiments.compose import compose_spec, load_spec_file
+from repro.experiments.registry import (
+    all_experiment_ids,
+    list_experiments,
+    register,
+    run_experiment,
+)
 from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sweep
 from repro.experiments.scales import SCALES
+from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore, result_to_csv
 from repro.perf.profiler import profile_experiment, write_bench
 from repro.perf.regression import check_regressions, write_baseline
@@ -64,7 +77,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments")
+    list_parser = sub.add_parser("list", help="list available experiments")
+    list_parser.add_argument(
+        "--tags",
+        default=None,
+        help="only experiments carrying every given tag (comma-separated, e.g. 'ext')",
+    )
+    list_parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also show each experiment's tags and paper figure",
+    )
 
     scenarios_parser = sub.add_parser(
         "scenarios", help="show the perturbation-scenario catalogue"
@@ -142,6 +165,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="how to print each experiment's aggregate",
     )
 
+    compose_parser = sub.add_parser(
+        "compose",
+        help="build an experiment from a TOML/JSON spec file and run it",
+    )
+    compose_parser.add_argument(
+        "spec",
+        type=pathlib.Path,
+        help="declarative spec file (.toml or .json; see repro.experiments.compose)",
+    )
+    compose_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="experiment scale preset",
+    )
+    compose_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    compose_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="result-store root (same layout as `run --out`)",
+    )
+
     perf_parser = sub.add_parser(
         "perf",
         help="profile experiments (events/sec, hotspots) and gate regressions",
@@ -205,11 +251,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_list() -> int:
-    for experiment_id in all_experiment_ids():
-        title, _fn = get_experiment(experiment_id)
-        print(f"{experiment_id:18s} {title}")
+def _parse_tags(text: Optional[str]) -> tuple[str, ...]:
+    if text is None:
+        return ()
+    return tuple(tag.strip() for tag in text.split(",") if tag.strip())
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    tags = _parse_tags(args.tags)
+    specs = list_experiments(tags)
+    if not specs:
+        raise ExperimentError(
+            f"no experiments carry all of the tags {list(tags)}; "
+            f"try `list --verbose` to see every experiment's tags"
+        )
+    for spec in specs:
+        print(f"{spec.experiment_id:18s} {spec.title}")
+        if args.verbose:
+            detail = f"tags: {', '.join(spec.tags) or '-'}"
+            if spec.figure is not None:
+                detail += f"; reproduces {spec.figure}"
+            if spec.scenario_family is not None:
+                detail += f"; sweeps scenario family {spec.scenario_family}"
+            print(f"{'':18s} {detail}")
     return 0
+
+
+def _experiments_by_family() -> dict[str, list[str]]:
+    """scenario family -> experiment ids, joined from the registry metadata."""
+    by_family: dict[str, list[str]] = {}
+    for spec in list_experiments():
+        if spec.scenario_family is not None:
+            by_family.setdefault(spec.scenario_family, []).append(spec.experiment_id)
+    return by_family
 
 
 def _cmd_scenarios(args: argparse.Namespace) -> int:
@@ -222,17 +296,19 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
         for cell in scenarios_for(args.figure):
             print(f"{args.figure}  {cell.period_label:>8s}  p={cell.probability}")
         return 0
+    by_family = _experiments_by_family()
     if args.family is not None:
         family = get_family(args.family)
+        experiment_ids = by_family.get(family.name, [])
         print(f"{family.name}: {family.summary}")
         print(f"  process:    repro.perturbation.{family.process}")
-        if family.experiment_id is not None:
-            print(f"  experiment: {family.experiment_id} (run it via "
-                  f"`sweep {family.experiment_id} --seeds 0..9`)")
+        for experiment_id in experiment_ids:
+            print(f"  experiment: {experiment_id} (run it via "
+                  f"`sweep {experiment_id} --seeds 0..9`)")
         return 0
     for family in scenario_families():
-        experiment = family.experiment_id or "-"
-        print(f"{family.name:20s} {experiment:16s} {family.summary}")
+        experiments = ",".join(by_family.get(family.name, [])) or "-"
+        print(f"{family.name:20s} {experiments:16s} {family.summary}")
     return 0
 
 
@@ -243,11 +319,24 @@ def _requested_ids(experiments: Sequence[str]) -> list[str]:
     return requested
 
 
+def _make_store(out: pathlib.Path) -> ResultStore:
+    out.mkdir(parents=True, exist_ok=True)
+    return ResultStore(out)
+
+
+def _persist_replicate(
+    store: ResultStore, result, seed: int, elapsed: float, text: str
+) -> None:
+    """``--out`` behaviour shared by ``run`` and ``compose``: store the
+    replicate JSON (+ manifest) plus a legacy seed-qualified table file
+    (seed in the name so replicates never overwrite each other)."""
+    store.save(result, seed=seed, wall_clock=elapsed)
+    path = store.root / f"{result.experiment_id}_{result.scale}_seed{seed}.txt"
+    path.write_text(text + "\n")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    store = None
-    if args.out is not None:
-        args.out.mkdir(parents=True, exist_ok=True)
-        store = ResultStore(args.out)
+    store = _make_store(args.out) if args.out is not None else None
     for experiment_id in _requested_ids(args.experiments):
         started = time.perf_counter()
         result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
@@ -256,10 +345,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(text)
         print(f"({experiment_id} completed in {elapsed:.1f}s)\n")
         if store is not None:
-            store.save(result, seed=args.seed, wall_clock=elapsed)
-            # Seed in the name so replicates never overwrite each other.
-            path = args.out / f"{experiment_id}_{result.scale}_seed{args.seed}.txt"
-            path.write_text(text + "\n")
+            _persist_replicate(store, result, args.seed, elapsed, text)
+    return 0
+
+
+def _cmd_compose(args: argparse.Namespace) -> int:
+    spec: ExperimentSpec = compose_spec(load_spec_file(args.spec))
+    # Register so the composed id resolves like a built-in for the rest of
+    # this process (duplicate ids fail with a one-line error, which also
+    # stops a spec file from shadowing a registered experiment).
+    register(spec)
+    started = time.perf_counter()
+    result = spec.run(scale=args.scale, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    text = result.table()
+    print(text)
+    print(f"({spec.experiment_id} composed from {args.spec} "
+          f"and completed in {elapsed:.1f}s)\n")
+    if args.out is not None:
+        _persist_replicate(_make_store(args.out), result, args.seed, elapsed, text)
     return 0
 
 
@@ -340,11 +444,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         if args.command == "list":
-            return _cmd_list()
+            return _cmd_list(args)
         if args.command == "scenarios":
             return _cmd_scenarios(args)
         if args.command == "run":
             return _cmd_run(args)
+        if args.command == "compose":
+            return _cmd_compose(args)
         if args.command == "perf":
             return _cmd_perf(args)
         return _cmd_sweep(args)

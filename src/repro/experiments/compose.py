@@ -1,0 +1,510 @@
+"""Compose an :class:`ExperimentSpec` from a declarative description.
+
+This is the no-module path for new perturbation experiments: a TOML file
+(or an equivalent dict) names the scenario composition, the sweep axis,
+the protocol variants, and the workload — and :func:`compose_spec` turns
+it into a runnable spec on the standard perturbation testbed
+(:func:`repro.experiments.perturbed.build_testbed`), with rows flowing
+through the same :class:`~repro.experiments.base.ExperimentResult` /
+store pipeline as every registered experiment.
+
+Example (``severity-sweep.toml``)::
+
+    [experiment]
+    id = "my-severity-sweep"
+    title = "Outage severity over background flapping"
+    tags = ["ext", "composed"]
+
+    [sweep]
+    column = "severity"
+    values = [0.0, 0.5, 1.0]
+
+    [[scenario]]
+    family = "flapping"
+    period = "30:30"
+    probability = 0.5
+
+    [[scenario]]
+    family = "regional-outage"
+    start = 90.0
+    duration = 600.0
+    severity = "$severity"       # substituted per sweep cell
+
+    [variants]                   # optional; this is the default
+    names = ["pastry", "mpil-ds", "mpil-nods"]
+    rejoin = false               # interval-based MSPastry eviction/rejoin
+
+    [workload]                   # optional
+    spacing = 60.0               # seconds between lookups
+    window = [0.33, 0.66]        # measure only this index fraction
+
+then::
+
+    from repro import api
+    result = api.run(api.compose("severity-sweep.toml"), scale="smoke")
+
+or, from the shell, ``mpil-experiments compose severity-sweep.toml``.
+
+Scenario families and their parameters mirror the catalogue in
+:mod:`repro.perturbation.scenario`; multiple ``[[scenario]]`` tables
+compose through :class:`~repro.perturbation.timeline.ScenarioTimeline`
+(a node is online iff online under every composed process).  Any
+parameter may be the string ``"$<sweep column>"`` to take the sweep
+cell's value.  Scenario seeds derive from ``(seed, "compose", index,
+family)`` — deliberately *not* from the axis value, so severity-style
+sweeps stay nested (the affected set at severity 0.5 is a subset of the
+one at 0.75) and curves read monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence, Union
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments.perturbed import (
+    PASTRY_VARIANTS,
+    VARIANT_LABELS,
+    PerturbationTestbed,
+    build_testbed,
+    iter_stage2_lookups,
+)
+from repro.experiments.spec import ExperimentSpec, Pipeline, RunContext
+from repro.pastry.rejoin import IntervalRejoinAvailability
+from repro.pastry.views import ProbedViewOracle
+from repro.perturbation.adversarial import AdversarialRemoval, AdversarialRemovalConfig
+from repro.perturbation.churn import ChurnConfig, ChurnSchedule
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.perturbation.outage import RegionalOutage, RegionalOutageConfig
+from repro.perturbation.storms import JoinStormConfig, JoinStormSchedule
+from repro.perturbation.timeline import ScenarioTimeline
+from repro.perturbation.waves import ChurnWaveConfig, ChurnWaveSchedule
+
+DEFAULT_VARIANTS = ("pastry", "mpil-ds", "mpil-nods")
+DEFAULT_SPACING = 60.0
+
+#: scenario families composable from a spec: family -> (builder, parameter
+#: names).  Builders return an interval-reporting
+#: :class:`~repro.perturbation.base.AvailabilityProcess`; the loose return
+#: annotation mirrors the untyped ``availability`` parameter of the
+#: stage-2 drivers they feed.
+ScenarioBuilder = Callable[[Mapping[str, Any], PerturbationTestbed, object], Any]
+
+
+def _build_flapping(
+    params: Mapping[str, Any], testbed: PerturbationTestbed, seed: object
+) -> FlappingSchedule:
+    config = FlappingConfig.from_label(
+        str(params["period"]), float(params["probability"])
+    )
+    return FlappingSchedule(
+        config, testbed.pastry.n, seed=seed, always_online={testbed.client}
+    )
+
+
+def _build_churn(
+    params: Mapping[str, Any], testbed: PerturbationTestbed, seed: object
+) -> ChurnSchedule:
+    config = ChurnConfig(
+        mean_session=float(params["mean_session"]),
+        mean_downtime=float(params["mean_downtime"]),
+    )
+    return ChurnSchedule(
+        config, testbed.pastry.n, seed=seed, always_online={testbed.client}
+    )
+
+
+def _build_wave(
+    params: Mapping[str, Any], testbed: PerturbationTestbed, seed: object
+) -> ChurnWaveSchedule:
+    config = ChurnWaveConfig(
+        mean_session=float(params["mean_session"]),
+        mean_downtime=float(params["mean_downtime"]),
+        wave_period=float(params["wave_period"]),
+        wave_duration=float(params["wave_duration"]),
+        intensity=float(params["intensity"]),
+    )
+    return ChurnWaveSchedule(
+        config, testbed.pastry.n, seed=seed, always_online={testbed.client}
+    )
+
+
+def _build_storm(
+    params: Mapping[str, Any], testbed: PerturbationTestbed, seed: object
+) -> JoinStormSchedule:
+    config = JoinStormConfig(
+        arrival_time=float(params["arrival_time"]),
+        late_fraction=float(params["late_fraction"]),
+    )
+    return JoinStormSchedule(
+        config, testbed.pastry.n, seed=seed, always_online={testbed.client}
+    )
+
+
+def _build_outage(
+    params: Mapping[str, Any], testbed: PerturbationTestbed, seed: object
+) -> RegionalOutage:
+    config = RegionalOutageConfig(
+        start=float(params["start"]),
+        duration=float(params["duration"]),
+        severity=float(params["severity"]),
+    )
+    return RegionalOutage(
+        testbed.regions, config, seed=seed, always_online={testbed.client}
+    )
+
+
+def _build_adversarial(
+    params: Mapping[str, Any], testbed: PerturbationTestbed, seed: object
+) -> AdversarialRemoval:
+    config = AdversarialRemovalConfig(
+        fraction=float(params["fraction"]),
+        start=float(params["start"]),
+        targeting=str(params.get("targeting", "degree")),
+    )
+    return AdversarialRemoval.from_overlay(
+        testbed.mpil.overlay, config, seed=seed, always_online={testbed.client}
+    )
+
+
+SCENARIO_BUILDERS: dict[str, ScenarioBuilder] = {
+    "flapping": _build_flapping,
+    "churn": _build_churn,
+    "churn-wave": _build_wave,
+    "join-storm": _build_storm,
+    "regional-outage": _build_outage,
+    "adversarial-removal": _build_adversarial,
+}
+
+#: per-family parameter schema: name -> kind ("float" or "str"); every
+#: parameter is required unless listed in ``_OPTIONAL_PARAMS``
+_FAMILY_PARAMS: dict[str, dict[str, str]] = {
+    "flapping": {"period": "str", "probability": "float"},
+    "churn": {"mean_session": "float", "mean_downtime": "float"},
+    "churn-wave": {
+        "mean_session": "float",
+        "mean_downtime": "float",
+        "wave_period": "float",
+        "wave_duration": "float",
+        "intensity": "float",
+    },
+    "join-storm": {"arrival_time": "float", "late_fraction": "float"},
+    "regional-outage": {"start": "float", "duration": "float", "severity": "float"},
+    "adversarial-removal": {"fraction": "float", "start": "float", "targeting": "str"},
+}
+
+_OPTIONAL_PARAMS: dict[str, frozenset[str]] = {
+    "adversarial-removal": frozenset({"targeting"}),
+}
+
+
+def _validate_period(value: Any) -> None:
+    try:
+        FlappingConfig.from_label(str(value), 0.5)
+    except ConfigurationError as exc:
+        raise ExperimentError(str(exc)) from None
+
+
+def _validate_targeting(value: Any) -> None:
+    if value not in ("degree", "random"):
+        raise ExperimentError(
+            f"targeting must be 'degree' or 'random', got {value!r}"
+        )
+
+
+#: compose-time validators for str-kind parameters, so bad values (or bad
+#: axis substitutions) fail before the testbed is built
+_STR_VALIDATORS: dict[tuple[str, str], Callable[[Any], None]] = {
+    ("flapping", "period"): _validate_period,
+    ("adversarial-removal", "targeting"): _validate_targeting,
+}
+
+
+def load_spec_file(path: Union[str, pathlib.Path]) -> dict[str, Any]:
+    """Parse a ``.toml`` (or ``.json``) spec description into a dict."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise ExperimentError(f"spec file {str(path)!r} does not exist")
+    if path.suffix == ".json":
+        try:
+            return json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ExperimentError(f"malformed JSON in {str(path)!r}: {exc}") from None
+    if tomllib is None:  # pragma: no cover - exercised only on 3.10
+        raise ExperimentError(
+            f"parsing {str(path)!r} needs tomllib (Python 3.11+); on older "
+            f"interpreters write the spec as .json instead"
+        )
+    try:
+        return tomllib.loads(path.read_text())
+    except tomllib.TOMLDecodeError as exc:
+        raise ExperimentError(f"malformed TOML in {str(path)!r}: {exc}") from None
+
+
+def _is_list(value: Any) -> bool:
+    """True for real list-like values; a bare string is *not* a list (it
+    would be silently iterated character by character)."""
+    return isinstance(value, Sequence) and not isinstance(value, (str, bytes))
+
+
+def _require_list(value: Any, what: str) -> Sequence[Any]:
+    if not _is_list(value):
+        raise ExperimentError(f"{what} must be a list, got {value!r}")
+    return value
+
+
+def _require_float(value: Any, what: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ExperimentError(f"{what} must be a number, got {value!r}") from None
+
+
+def _require_table(source: Mapping[str, Any], key: str) -> Mapping[str, Any]:
+    value = source.get(key)
+    if not isinstance(value, Mapping):
+        raise ExperimentError(
+            f"spec needs a [{key}] table; found {type(value).__name__ if value is not None else 'nothing'}"
+        )
+    return value
+
+
+def _substitute(value: Any, column: str, cell: Any, family: str) -> Any:
+    """Replace ``"$<column>"`` placeholders with the sweep cell's value."""
+    if isinstance(value, str) and value.startswith("$"):
+        if value[1:] != column:
+            raise ExperimentError(
+                f"scenario {family!r} references unknown sweep axis {value!r}; "
+                f"the sweep column is {column!r}"
+            )
+        return cell
+    return value
+
+
+def _check_params(
+    family: str,
+    table: Mapping[str, Any],
+    column: str,
+    axis_values: Sequence[Any],
+) -> None:
+    """Validate one scenario table fully at compose time: parameter names,
+    required parameters, axis references, and numeric coercibility — so a
+    bad description never gets as far as building a testbed."""
+    schema = _FAMILY_PARAMS[family]
+    optional = _OPTIONAL_PARAMS.get(family, frozenset())
+    provided = set(table) - {"family"}
+    unknown = provided - set(schema)
+    if unknown:
+        raise ExperimentError(
+            f"unknown parameter(s) {sorted(unknown)} for scenario family "
+            f"{family!r}; allowed: {sorted(schema)}"
+        )
+    missing = set(schema) - optional - provided
+    if missing:
+        raise ExperimentError(
+            f"missing required parameter(s) {sorted(missing)} for scenario "
+            f"family {family!r}"
+        )
+    for name in sorted(provided):
+        value = table[name]
+        # axis references fail here, not mid-sweep; a placeholder must also
+        # coerce for *every* sweep value, not just the first
+        candidates = (
+            list(axis_values)
+            if isinstance(value, str) and value.startswith("$")
+            else [value]
+        )
+        _substitute(value, column, axis_values[0], family)
+        if schema[name] == "float":
+            for candidate in candidates:
+                try:
+                    float(candidate)
+                except (TypeError, ValueError):
+                    raise ExperimentError(
+                        f"parameter {name!r} of scenario family {family!r} "
+                        f"must be a number, got {candidate!r}"
+                    ) from None
+        else:
+            validator = _STR_VALIDATORS.get((family, name))
+            if validator is not None:
+                for candidate in candidates:
+                    validator(candidate)
+
+
+def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
+    """Build a runnable :class:`ExperimentSpec` from a declarative dict.
+
+    See the module docstring for the schema.  All validation happens here,
+    eagerly, so a bad description fails at compose time with a one-line
+    :class:`~repro.errors.ExperimentError` — not halfway through a sweep.
+    """
+    experiment = _require_table(source, "experiment")
+    experiment_id = str(experiment.get("id", "")).strip()
+    title = str(experiment.get("title", "")).strip()
+    if not experiment_id or not title:
+        raise ExperimentError("the [experiment] table needs non-empty 'id' and 'title'")
+    tags = tuple(
+        str(tag) for tag in _require_list(experiment.get("tags", ()), "experiment.tags")
+    )
+
+    sweep = _require_table(source, "sweep")
+    column = str(sweep.get("column", "")).strip()
+    values = sweep.get("values")
+    if not column or not _is_list(values) or not values:
+        raise ExperimentError(
+            "the [sweep] table needs a 'column' name and a non-empty 'values' list"
+        )
+    axis_values = tuple(values)
+
+    scenarios = source.get("scenario")
+    if not _is_list(scenarios) or not scenarios:
+        raise ExperimentError("spec needs at least one [[scenario]] table")
+    scenario_tables: list[Mapping[str, Any]] = []
+    for table in scenarios:
+        if not isinstance(table, Mapping) or "family" not in table:
+            raise ExperimentError("every [[scenario]] table needs a 'family' key")
+        family = str(table["family"])
+        if family not in SCENARIO_BUILDERS:
+            raise ExperimentError(
+                f"unknown scenario family {family!r}; "
+                f"choose from {sorted(SCENARIO_BUILDERS)}"
+            )
+        _check_params(family, table, column, axis_values)
+        scenario_tables.append(table)
+
+    variants_table = source.get("variants", {})
+    if not isinstance(variants_table, Mapping):
+        raise ExperimentError("[variants] must be a table")
+    variants = tuple(
+        str(v)
+        for v in _require_list(
+            variants_table.get("names", DEFAULT_VARIANTS), "variants.names"
+        )
+    )
+    if not variants:
+        raise ExperimentError(
+            f"variants.names needs at least one of {sorted(VARIANT_LABELS)}"
+        )
+    unknown_variants = set(variants) - set(VARIANT_LABELS)
+    if unknown_variants:
+        raise ExperimentError(
+            f"unknown variant(s) {sorted(unknown_variants)}; "
+            f"choose from {sorted(VARIANT_LABELS)}"
+        )
+    rejoin = bool(variants_table.get("rejoin", False))
+
+    workload = source.get("workload", {})
+    if not isinstance(workload, Mapping):
+        raise ExperimentError("[workload] must be a table")
+    spacing = _require_float(
+        workload.get("spacing", DEFAULT_SPACING), "workload spacing"
+    )
+    if spacing <= 0:
+        raise ExperimentError(f"workload spacing must be positive, got {spacing:g}")
+    window = workload.get("window")
+    if window is not None:
+        if not _is_list(window) or len(window) != 2:
+            raise ExperimentError(
+                f"workload window must be [lo, hi] fractions with "
+                f"0 <= lo < hi <= 1, got {window!r}"
+            )
+        lo_frac = _require_float(window[0], "workload window")
+        hi_frac = _require_float(window[1], "workload window")
+        if not 0.0 <= lo_frac < hi_frac <= 1.0:
+            raise ExperimentError(
+                f"workload window must be [lo, hi] fractions with "
+                f"0 <= lo < hi <= 1, got {window!r}"
+            )
+        window = (lo_frac, hi_frac)
+
+    def build(ctx: RunContext) -> PerturbationTestbed:
+        return build_testbed(
+            ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
+        )
+
+    def cells(ctx: RunContext, testbed: PerturbationTestbed) -> Iterable[Any]:
+        return axis_values
+
+    def _lookup_indices(num_lookups: int) -> range:
+        if window is None:
+            return range(num_lookups)
+        lo = int(num_lookups * window[0])
+        hi = max(lo + 1, int(num_lookups * window[1]))
+        return range(lo, hi)
+
+    def measure(ctx: RunContext, testbed: PerturbationTestbed, cell: Any) -> Iterable[tuple]:
+        processes: list[Any] = []
+        for index, table in enumerate(scenario_tables):
+            family = str(table["family"])
+            params = {
+                key: _substitute(value, column, cell, family)
+                for key, value in table.items()
+                if key != "family"
+            }
+            builder = SCENARIO_BUILDERS[family]
+            processes.append(
+                builder(params, testbed, (ctx.seed, "compose", index, family))
+            )
+        schedule: Any = (
+            processes[0] if len(processes) == 1 else ScenarioTimeline(processes)
+        )
+        indices = _lookup_indices(ctx.scale.perturbed_lookups)
+        row: list[Any] = [cell]
+        for variant in variants:
+            availability: Any = schedule
+            views: Optional[ProbedViewOracle] = None
+            if variant in PASTRY_VARIANTS:
+                if rejoin:
+                    availability = IntervalRejoinAvailability(
+                        schedule,
+                        testbed.pastry.config,
+                        seed=(ctx.seed, "compose", "rejoin", variant),
+                    )
+                views = ProbedViewOracle(
+                    availability,
+                    testbed.pastry.config,
+                    seed=(ctx.seed, "compose", "views", variant),
+                )
+            successes = sum(
+                success
+                for _i, success in iter_stage2_lookups(
+                    testbed, variant, indices, spacing, availability, views
+                )
+            )
+            row.append(round(100.0 * successes / len(indices), 1))
+        return [tuple(row)]
+
+    summary = " + ".join(
+        "{}({})".format(
+            table["family"],
+            ", ".join(f"{k}={v}" for k, v in table.items() if k != "family"),
+        )
+        for table in scenario_tables
+    )
+    notes = (
+        f"composed scenario: {summary}; lookups every {spacing:g}s"
+        + (f"; window {window[0]:g}..{window[1]:g} of the sequence" if window else "")
+        + ("; MSPastry with interval-based eviction/rejoin" if rejoin else "")
+    )
+
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title=title,
+        pipeline=Pipeline(
+            columns=(column, *(VARIANT_LABELS[v] for v in variants)),
+            key_columns=(column,),
+            build=build,
+            cells=cells,
+            measure=measure,
+            notes=notes,
+        ),
+        tags=tags,
+        figure=None,
+        scenario_family=None,
+    )

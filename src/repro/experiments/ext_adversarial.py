@@ -16,7 +16,8 @@ routes around them with redundant flows and no maintenance at all.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from typing import Iterable, Optional
+
 from repro.experiments.perturbed import (
     MPIL_MAX_FLOWS,
     MPIL_PER_FLOW_REPLICAS,
@@ -24,7 +25,8 @@ from repro.experiments.perturbed import (
     build_testbed,
     iter_stage2_lookups,
 )
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.pastry.views import ProbedViewOracle
 from repro.perturbation.adversarial import (
     AdversarialRemoval,
@@ -45,7 +47,7 @@ def _run_variant(
     variant: str,
     num_lookups: int,
 ) -> float:
-    views = None
+    views: Optional[ProbedViewOracle] = None
     if variant == "pastry":
         views = ProbedViewOracle(
             schedule,
@@ -61,44 +63,53 @@ def _run_variant(
     return 100.0 * successes / num_lookups
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+def _build(ctx: RunContext) -> PerturbationTestbed:
+    return build_testbed(
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
+
+
+def _measure(
+    ctx: RunContext, testbed: PerturbationTestbed, fraction: float
+) -> Iterable[tuple]:
     overlay = testbed.mpil.overlay  # Pastry neighbor lists (directed)
-    rows = []
-    for fraction in resolved.removal_fractions:
-        cells: dict[str, dict[str, float]] = {}
-        for targeting in ("degree", "random"):
-            schedule = AdversarialRemoval.from_overlay(
-                overlay,
-                AdversarialRemovalConfig(
-                    fraction=fraction, start=REMOVAL_START, targeting=targeting
-                ),
-                seed=(seed, "adversarial", fraction, targeting),
-                always_online={testbed.client},
-            )
-            cells[targeting] = {
-                variant: _run_variant(
-                    testbed, schedule, variant, resolved.perturbed_lookups
-                )
-                for variant in ("pastry", "mpil-ds", "mpil-nods")
-            }
-        rows.append(
-            (
-                fraction,
-                round(cells["degree"]["pastry"], 1),
-                round(cells["degree"]["mpil-ds"], 1),
-                round(cells["degree"]["mpil-nods"], 1),
-                round(cells["random"]["pastry"], 1),
-                round(cells["random"]["mpil-ds"], 1),
-                round(cells["random"]["mpil-nods"], 1),
-            )
+    cells: dict[str, dict[str, float]] = {}
+    for targeting in ("degree", "random"):
+        schedule = AdversarialRemoval.from_overlay(
+            overlay,
+            AdversarialRemovalConfig(
+                fraction=fraction, start=REMOVAL_START, targeting=targeting
+            ),
+            seed=(ctx.seed, "adversarial", fraction, targeting),
+            always_online={testbed.client},
         )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        cells[targeting] = {
+            variant: _run_variant(
+                testbed, schedule, variant, ctx.scale.perturbed_lookups
+            )
+            for variant in ("pastry", "mpil-ds", "mpil-nods")
+        }
+    return [
+        (
+            fraction,
+            round(cells["degree"]["pastry"], 1),
+            round(cells["degree"]["mpil-ds"], 1),
+            round(cells["degree"]["mpil-nods"], 1),
+            round(cells["random"]["pastry"], 1),
+            round(cells["random"]["mpil-ds"], 1),
+            round(cells["random"]["mpil-nods"], 1),
+        )
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("ext", "scenario", "perturbation", "adversarial"),
+    scenario_family="adversarial-removal",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "removed_fraction",
             "MSPastry (targeted)",
@@ -108,13 +119,17 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "MPIL with DS (random)",
             "MPIL without DS (random)",
         ),
-        rows=rows,
+        key_columns=("removed_fraction",),
+        build=_build,
+        cells=lambda ctx, built: ctx.scale.removal_fractions,
+        measure=_measure,
         notes=(
             f"permanent removal at t={REMOVAL_START:g}s; targeted = highest "
             f"total degree (in+out) of the Pastry neighbor graph, random = "
             f"uniform sample of the same size; MPIL at ({MPIL_MAX_FLOWS}, "
             f"{MPIL_PER_FLOW_REPLICAS}); lookups every {LOOKUP_SPACING:g}s"
         ),
-        scale=resolved.name,
-        key_columns=("removed_fraction",),
     )
+
+
+run = spec.run

@@ -15,14 +15,16 @@ MPIL runs with no maintenance at all, as always.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from typing import Iterable
+
 from repro.experiments.perturbed import (
     MPIL_MAX_FLOWS,
     MPIL_PER_FLOW_REPLICAS,
     PerturbationTestbed,
     build_testbed,
 )
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.pastry.views import ProbedViewOracle
 from repro.perturbation.churn import ChurnConfig, ChurnSchedule
 from repro.sim.counters import TrafficCounters
@@ -74,38 +76,52 @@ def _run_variant(
     return 100.0 * successes / num_lookups
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+def _build(ctx: RunContext) -> PerturbationTestbed:
+    return build_testbed(
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    rows = []
-    for mean_session in MEAN_SESSIONS:
-        config = ChurnConfig(mean_session=mean_session, mean_downtime=mean_session)
-        schedule = ChurnSchedule(
-            config,
-            testbed.pastry.n,
-            seed=(seed, "churn", mean_session),
-            always_online={testbed.client},
+
+
+def _measure(
+    ctx: RunContext, testbed: PerturbationTestbed, mean_session: float
+) -> Iterable[tuple]:
+    config = ChurnConfig(mean_session=mean_session, mean_downtime=mean_session)
+    schedule = ChurnSchedule(
+        config,
+        testbed.pastry.n,
+        seed=(ctx.seed, "churn", mean_session),
+        always_online={testbed.client},
+    )
+    lookups = ctx.scale.perturbed_lookups
+    return [
+        (
+            mean_session,
+            round(_run_variant(testbed, schedule, "pastry", lookups), 1),
+            round(_run_variant(testbed, schedule, "mpil-ds", lookups), 1),
+            round(_run_variant(testbed, schedule, "mpil-nods", lookups), 1),
         )
-        rows.append(
-            (
-                mean_session,
-                round(_run_variant(testbed, schedule, "pastry", resolved.perturbed_lookups), 1),
-                round(_run_variant(testbed, schedule, "mpil-ds", resolved.perturbed_lookups), 1),
-                round(_run_variant(testbed, schedule, "mpil-nods", resolved.perturbed_lookups), 1),
-            )
-        )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("ext", "scenario", "perturbation", "churn"),
+    scenario_family="churn",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=("mean_session_s", "MSPastry", "MPIL with DS", "MPIL without DS"),
-        rows=rows,
+        key_columns=("mean_session_s",),
+        build=_build,
+        cells=lambda ctx, built: MEAN_SESSIONS,
+        measure=_measure,
         notes=(
             f"exponential on/off churn at 50% availability; MPIL at "
             f"({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); lookups every "
             f"{LOOKUP_SPACING:g}s; rejoin model not applied (flapping-specific)"
         ),
-        scale=resolved.name,
-        key_columns=('mean_session_s',),
     )
+
+
+run = spec.run

@@ -18,8 +18,10 @@ storm), ``recovery`` (the third right after it), and ``steady`` (the rest).
 
 from __future__ import annotations
 
+import dataclasses
+from typing import Any, Iterable, Optional
+
 from repro.errors import ExperimentError
-from repro.experiments.base import ExperimentResult
 from repro.experiments.perturbed import (
     MPIL_MAX_FLOWS,
     MPIL_PER_FLOW_REPLICAS,
@@ -27,7 +29,8 @@ from repro.experiments.perturbed import (
     build_testbed,
     iter_stage2_lookups,
 )
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.pastry.rejoin import IntervalRejoinAvailability
 from repro.pastry.views import ProbedViewOracle
 from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
@@ -67,7 +70,8 @@ def _run_variant(
     bounds: dict[str, tuple[int, int]],
 ) -> dict[str, float]:
     """Per-phase success rates in percent."""
-    availability, views = schedule, None
+    availability: Any = schedule
+    views: Optional[ProbedViewOracle] = None
     if variant == "pastry":
         availability = IntervalRejoinAvailability(
             schedule, testbed.pastry.config, seed=(testbed.seed, "storm-rejoin")
@@ -88,46 +92,75 @@ def _run_variant(
     }
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
+@dataclasses.dataclass
+class _StormTestbed:
+    """Built state shared by every storm-fraction cell."""
+
+    testbed: PerturbationTestbed
+    bounds: dict[str, tuple[int, int]]
+    arrival: float
+    flapping: FlappingSchedule
+
+
+def _build(ctx: RunContext) -> _StormTestbed:
     testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    num_lookups = resolved.perturbed_lookups
-    bounds = _phase_bounds(num_lookups)
+    bounds = _phase_bounds(ctx.scale.perturbed_lookups)
     # the storm lands just before the first "recovery" lookup
     arrival = LOOKUP_SPACING * (bounds["recovery"][0] + 0.5)
     flapping = FlappingSchedule(
         FlappingConfig.from_label(FLAP_LABEL, FLAP_PROBABILITY),
         testbed.pastry.n,
-        seed=(seed, "storm-flap"),
+        seed=(ctx.seed, "storm-flap"),
         always_online={testbed.client},
     )
-    rows = []
-    for fraction in resolved.storm_fractions:
-        storm = JoinStormSchedule(
-            JoinStormConfig(arrival_time=arrival, late_fraction=fraction),
-            testbed.pastry.n,
-            seed=(seed, "storm", fraction),
-            always_online={testbed.client},
+    return _StormTestbed(testbed=testbed, bounds=bounds, arrival=arrival, flapping=flapping)
+
+
+def _measure(ctx: RunContext, built: _StormTestbed, fraction: float) -> Iterable[tuple]:
+    testbed = built.testbed
+    storm = JoinStormSchedule(
+        JoinStormConfig(arrival_time=built.arrival, late_fraction=fraction),
+        testbed.pastry.n,
+        seed=(ctx.seed, "storm", fraction),
+        always_online={testbed.client},
+    )
+    schedule = ScenarioTimeline([built.flapping, storm])
+    num_lookups = ctx.scale.perturbed_lookups
+    pastry = _run_variant(testbed, schedule, "pastry", num_lookups, built.bounds)
+    ds = _run_variant(testbed, schedule, "mpil-ds", num_lookups, built.bounds)
+    nods = _run_variant(testbed, schedule, "mpil-nods", num_lookups, built.bounds)
+    return [
+        (
+            fraction,
+            phase,
+            round(pastry[phase], 1),
+            round(ds[phase], 1),
+            round(nods[phase], 1),
         )
-        schedule = ScenarioTimeline([flapping, storm])
-        pastry = _run_variant(testbed, schedule, "pastry", num_lookups, bounds)
-        ds = _run_variant(testbed, schedule, "mpil-ds", num_lookups, bounds)
-        nods = _run_variant(testbed, schedule, "mpil-nods", num_lookups, bounds)
-        for phase in PHASES:
-            rows.append(
-                (
-                    fraction,
-                    phase,
-                    round(pastry[phase], 1),
-                    round(ds[phase], 1),
-                    round(nods[phase], 1),
-                )
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for phase in PHASES
+    ]
+
+
+def _notes(ctx: RunContext, built: _StormTestbed) -> str:
+    return (
+        f"storm_fraction of nodes absent until t={built.arrival:g}s, arriving at "
+        f"once over {FLAP_LABEL} flapping at p={FLAP_PROBABILITY}; MSPastry "
+        f"arrivals rejoin through flapping contacts; MPIL at "
+        f"({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); lookups every "
+        f"{LOOKUP_SPACING:g}s"
+    )
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("ext", "scenario", "perturbation", "storm", "composed"),
+    scenario_family="join-storm",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "storm_fraction",
             "phase",
@@ -135,14 +168,12 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "MPIL with DS",
             "MPIL without DS",
         ),
-        rows=rows,
-        notes=(
-            f"storm_fraction of nodes absent until t={arrival:g}s, arriving at "
-            f"once over {FLAP_LABEL} flapping at p={FLAP_PROBABILITY}; MSPastry "
-            f"arrivals rejoin through flapping contacts; MPIL at "
-            f"({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); lookups every "
-            f"{LOOKUP_SPACING:g}s"
-        ),
-        scale=resolved.name,
         key_columns=("storm_fraction", "phase"),
+        build=_build,
+        cells=lambda ctx, built: ctx.scale.storm_fractions,
+        measure=_measure,
+        notes=_notes,
     )
+
+
+run = spec.run

@@ -17,7 +17,9 @@ regions pay the rejoin cost; MPIL runs with no maintenance, as always.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+import dataclasses
+from typing import Any, Iterable, Optional
+
 from repro.experiments.perturbed import (
     MPIL_MAX_FLOWS,
     MPIL_PER_FLOW_REPLICAS,
@@ -25,7 +27,8 @@ from repro.experiments.perturbed import (
     build_testbed,
     iter_stage2_lookups,
 )
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.pastry.rejoin import IntervalRejoinAvailability
 from repro.pastry.views import ProbedViewOracle
 from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
@@ -61,7 +64,8 @@ def _run_variant(
     in-window indices are executed; the rest would not affect the rate.
     """
     lo, hi = window
-    availability, views = schedule, None
+    availability: Any = schedule
+    views: Optional[ProbedViewOracle] = None
     if variant == "pastry":
         availability = IntervalRejoinAvailability(
             schedule, testbed.pastry.config, seed=(testbed.seed, "outage-rejoin")
@@ -78,12 +82,22 @@ def _run_variant(
     return 100.0 * successes / (hi - lo)
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
+@dataclasses.dataclass
+class _OutageTestbed:
+    """Built state shared by every severity cell."""
+
+    testbed: PerturbationTestbed
+    window: tuple[int, int]
+    outage_start: float
+    outage_duration: float
+    flapping: FlappingSchedule
+
+
+def _build(ctx: RunContext) -> _OutageTestbed:
     testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    num_lookups = resolved.perturbed_lookups
+    num_lookups = ctx.scale.perturbed_lookups
     lo, hi = _windows(num_lookups)
     # outage covers exactly the [lo, hi) lookups, including their in-flight
     # hops: lookup i starts at spacing*(i+1)
@@ -92,43 +106,70 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
     flapping = FlappingSchedule(
         FlappingConfig.from_label(FLAP_LABEL, FLAP_PROBABILITY),
         testbed.pastry.n,
-        seed=(seed, "outage-flap"),
+        seed=(ctx.seed, "outage-flap"),
         always_online={testbed.client},
     )
-    rows = []
-    for severity in resolved.outage_severities:
-        # NB: the outage seed must not depend on severity — the affected
-        # set is a prefix of one per-seed region permutation, which is what
-        # keeps the severity sweep nested and the curves monotone.
-        outage = RegionalOutage(
-            testbed.regions,
-            RegionalOutageConfig(
-                start=outage_start, duration=outage_duration, severity=severity
-            ),
-            seed=(seed, "outage"),
-            always_online={testbed.client},
-        )
-        schedule = ScenarioTimeline([flapping, outage])
-        rows.append(
-            (
-                severity,
-                round(_run_variant(testbed, schedule, "pastry", num_lookups, (lo, hi)), 1),
-                round(_run_variant(testbed, schedule, "mpil-ds", num_lookups, (lo, hi)), 1),
-                round(_run_variant(testbed, schedule, "mpil-nods", num_lookups, (lo, hi)), 1),
-            )
-        )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
-        columns=("outage_severity", "MSPastry", "MPIL with DS", "MPIL without DS"),
-        rows=rows,
-        notes=(
-            f"success during the outage window over {FLAP_LABEL} flapping at "
-            f"p={FLAP_PROBABILITY}; outage hits round(severity x regions) transit "
-            f"domains for lookups [{lo}, {hi}) of {num_lookups}; MPIL at "
-            f"({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); MSPastry with "
-            f"interval-based eviction/rejoin"
-        ),
-        scale=resolved.name,
-        key_columns=("outage_severity",),
+    return _OutageTestbed(
+        testbed=testbed,
+        window=(lo, hi),
+        outage_start=outage_start,
+        outage_duration=outage_duration,
+        flapping=flapping,
     )
+
+
+def _measure(ctx: RunContext, built: _OutageTestbed, severity: float) -> Iterable[tuple]:
+    # NB: the outage seed must not depend on severity — the affected set is
+    # a prefix of one per-seed region permutation, which is what keeps the
+    # severity sweep nested and the curves monotone.
+    testbed = built.testbed
+    outage = RegionalOutage(
+        testbed.regions,
+        RegionalOutageConfig(
+            start=built.outage_start, duration=built.outage_duration, severity=severity
+        ),
+        seed=(ctx.seed, "outage"),
+        always_online={testbed.client},
+    )
+    schedule = ScenarioTimeline([built.flapping, outage])
+    num_lookups = ctx.scale.perturbed_lookups
+    window = built.window
+    return [
+        (
+            severity,
+            round(_run_variant(testbed, schedule, "pastry", num_lookups, window), 1),
+            round(_run_variant(testbed, schedule, "mpil-ds", num_lookups, window), 1),
+            round(_run_variant(testbed, schedule, "mpil-nods", num_lookups, window), 1),
+        )
+    ]
+
+
+def _notes(ctx: RunContext, built: _OutageTestbed) -> str:
+    lo, hi = built.window
+    return (
+        f"success during the outage window over {FLAP_LABEL} flapping at "
+        f"p={FLAP_PROBABILITY}; outage hits round(severity x regions) transit "
+        f"domains for lookups [{lo}, {hi}) of {ctx.scale.perturbed_lookups}; MPIL at "
+        f"({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); MSPastry with "
+        f"interval-based eviction/rejoin"
+    )
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("ext", "scenario", "perturbation", "outage", "composed"),
+    scenario_family="regional-outage",
+)
+def spec() -> Pipeline:
+    return Pipeline(
+        columns=("outage_severity", "MSPastry", "MPIL with DS", "MPIL without DS"),
+        key_columns=("outage_severity",),
+        build=_build,
+        cells=lambda ctx, built: ctx.scale.outage_severities,
+        measure=_measure,
+        notes=_notes,
+    )
+
+
+run = spec.run

@@ -15,7 +15,8 @@ rejoin model (view staleness isolated); MPIL runs with no maintenance.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
+from typing import Iterable, Optional
+
 from repro.experiments.perturbed import (
     MPIL_MAX_FLOWS,
     MPIL_PER_FLOW_REPLICAS,
@@ -23,7 +24,8 @@ from repro.experiments.perturbed import (
     build_testbed,
     iter_stage2_lookups,
 )
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.pastry.views import ProbedViewOracle
 from repro.perturbation.waves import ChurnWaveConfig, ChurnWaveSchedule
 
@@ -48,7 +50,7 @@ def _run_variant(
     num_lookups: int,
 ) -> tuple[float, float]:
     """(overall, in-wave) success rates in percent."""
-    views = None
+    views: Optional[ProbedViewOracle] = None
     if variant == "pastry":
         views = ProbedViewOracle(
             schedule, testbed.pastry.config, seed=(testbed.seed, "wave-views")
@@ -66,49 +68,53 @@ def _run_variant(
     return overall, in_wave
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+def _build(ctx: RunContext) -> PerturbationTestbed:
+    return build_testbed(
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    rows = []
-    for intensity in resolved.wave_intensities:
-        config = ChurnWaveConfig(
-            mean_session=MEAN_SESSION,
-            mean_downtime=MEAN_DOWNTIME,
-            wave_period=WAVE_PERIOD,
-            wave_duration=WAVE_DURATION,
-            intensity=intensity,
+
+
+def _measure(
+    ctx: RunContext, testbed: PerturbationTestbed, intensity: float
+) -> Iterable[tuple]:
+    config = ChurnWaveConfig(
+        mean_session=MEAN_SESSION,
+        mean_downtime=MEAN_DOWNTIME,
+        wave_period=WAVE_PERIOD,
+        wave_duration=WAVE_DURATION,
+        intensity=intensity,
+    )
+    schedule = ChurnWaveSchedule(
+        config,
+        testbed.pastry.n,
+        seed=(ctx.seed, "wave", intensity),
+        always_online={testbed.client},
+    )
+    lookups = ctx.scale.perturbed_lookups
+    pastry_all, pastry_wave = _run_variant(testbed, schedule, "pastry", lookups)
+    ds_all, ds_wave = _run_variant(testbed, schedule, "mpil-ds", lookups)
+    nods_all, nods_wave = _run_variant(testbed, schedule, "mpil-nods", lookups)
+    return [
+        (
+            intensity,
+            round(pastry_all, 1),
+            round(ds_all, 1),
+            round(nods_all, 1),
+            round(pastry_wave, 1),
+            round(ds_wave, 1),
+            round(nods_wave, 1),
         )
-        schedule = ChurnWaveSchedule(
-            config,
-            testbed.pastry.n,
-            seed=(seed, "wave", intensity),
-            always_online={testbed.client},
-        )
-        pastry_all, pastry_wave = _run_variant(
-            testbed, schedule, "pastry", resolved.perturbed_lookups
-        )
-        ds_all, ds_wave = _run_variant(
-            testbed, schedule, "mpil-ds", resolved.perturbed_lookups
-        )
-        nods_all, nods_wave = _run_variant(
-            testbed, schedule, "mpil-nods", resolved.perturbed_lookups
-        )
-        rows.append(
-            (
-                intensity,
-                round(pastry_all, 1),
-                round(ds_all, 1),
-                round(nods_all, 1),
-                round(pastry_wave, 1),
-                round(ds_wave, 1),
-                round(nods_wave, 1),
-            )
-        )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("ext", "scenario", "perturbation", "churn", "waves"),
+    scenario_family="churn-wave",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "wave_intensity",
             "MSPastry",
@@ -118,13 +124,17 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "MPIL with DS (in wave)",
             "MPIL without DS (in wave)",
         ),
-        rows=rows,
+        key_columns=("wave_intensity",),
+        build=_build,
+        cells=lambda ctx, built: ctx.scale.wave_intensities,
+        measure=_measure,
         notes=(
             f"wave churn at 50% availability ({MEAN_SESSION:g}s/{MEAN_DOWNTIME:g}s), "
             f"rates x intensity for {WAVE_DURATION:g}s every {WAVE_PERIOD:g}s; "
             f"MPIL at ({MPIL_MAX_FLOWS}, {MPIL_PER_FLOW_REPLICAS}); lookups every "
             f"{LOOKUP_SPACING:g}s; rejoin model not applied (view staleness isolated)"
         ),
-        scale=resolved.name,
-        key_columns=("wave_intensity",),
     )
+
+
+run = spec.run

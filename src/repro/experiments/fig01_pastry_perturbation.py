@@ -8,49 +8,71 @@ toward zero at high flapping probability.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.perturbed import build_testbed, run_cell
-from repro.experiments.scales import get_scale
+from typing import Iterable, Iterator
+
+from repro.experiments.perturbed import PerturbationTestbed, build_testbed, run_cell
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.perturbation.scenario import PERIOD_CONFIGS
 
 EXPERIMENT_ID = "fig1"
 TITLE = "Effect of perturbation on MSPastry (success rate %)"
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+def _build(ctx: RunContext) -> PerturbationTestbed:
+    return build_testbed(
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    rows = []
+
+
+def _cells(ctx: RunContext, testbed: PerturbationTestbed) -> Iterator[tuple[str, float]]:
     for period_label in PERIOD_CONFIGS["fig1"]:
-        for probability in resolved.flap_probabilities:
-            (cell,) = run_cell(
-                testbed,
-                period_label,
-                probability,
-                resolved.perturbed_lookups,
-                variants=("pastry",),
-                seed=seed,
-            )
-            rows.append(
-                (
-                    period_label,
-                    probability,
-                    round(cell.success_rate, 1),
-                    cell.misdeliveries,
-                    cell.drops,
-                )
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for probability in ctx.scale.flap_probabilities:
+            yield period_label, probability
+
+
+def _measure(
+    ctx: RunContext, testbed: PerturbationTestbed, cell: tuple[str, float]
+) -> Iterable[tuple]:
+    period_label, probability = cell
+    (result,) = run_cell(
+        testbed,
+        period_label,
+        probability,
+        ctx.scale.perturbed_lookups,
+        variants=("pastry",),
+        seed=ctx.seed,
+    )
+    return [
+        (
+            period_label,
+            probability,
+            round(result.success_rate, 1),
+            result.misdeliveries,
+            result.drops,
+        )
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "perturbation", "pastry"),
+    figure="Figure 1",
+    scenario_family="flapping",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=("idle:offline", "flap_prob", "success_%", "misdeliveries", "drops"),
-        rows=rows,
+        key_columns=("idle:offline", "flap_prob"),
+        build=_build,
+        cells=_cells,
+        measure=_measure,
         notes=(
             "paper shape: 45:15 > 30:30 > 1:1 (near-linear decay) > 300:300 "
             "(~0 for p >= 0.8)"
         ),
-        scale=resolved.name,
-        key_columns=('idle:offline', 'flap_prob'),
     )
+
+
+run = spec.run

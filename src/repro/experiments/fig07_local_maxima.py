@@ -7,33 +7,47 @@ function of the number of neighbors d = 10..100, from the Section-5 formula
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 from repro.analysis import expected_local_maxima_regular
 from repro.core.identifiers import IdSpace
-from repro.experiments.base import ExperimentResult
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 
 EXPERIMENT_ID = "fig7"
 TITLE = "Expected number of local maxima (random regular topologies)"
 
+_SPACE = IdSpace(bits=160, digit_bits=4)
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:  # noqa: ARG001
-    resolved = get_scale(scale)
-    space = IdSpace(bits=160, digit_bits=4)
-    rows = []
-    for n in resolved.analysis_node_counts:
-        for degree in resolved.analysis_degrees:
-            rows.append(
-                (n, degree, round(expected_local_maxima_regular(space, n, degree), 2))
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+
+def _cells(ctx: RunContext, built: None) -> Iterator[tuple[int, int]]:
+    for n in ctx.scale.analysis_node_counts:
+        for degree in ctx.scale.analysis_degrees:
+            yield n, degree
+
+
+def _measure(ctx: RunContext, built: None, cell: tuple[int, int]) -> Iterable[tuple]:
+    n, degree = cell
+    return [(n, degree, round(expected_local_maxima_regular(_SPACE, n, degree), 2))]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "analysis"),
+    figure="Figure 7",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=("nodes", "neighbors", "expected_local_maxima"),
-        rows=rows,
+        key_columns=("nodes", "neighbors"),
+        cells=_cells,
+        measure=_measure,
         notes=(
             "closed-form Section 5 result; paper shape: decreasing in degree, "
             "increasing in N, roughly N/(d+1)"
         ),
-        scale=resolved.name,
-        key_columns=('nodes', 'neighbors'),
     )
+
+
+run = spec.run

@@ -12,34 +12,50 @@ compare against the paper's plot.
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 from repro.analysis import expected_replicas_complete
 from repro.core.identifiers import IdSpace
-from repro.experiments.base import ExperimentResult
-from repro.experiments.scales import get_scale
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 
 EXPERIMENT_ID = "fig8"
 TITLE = "Expected number of replicas (complete topologies)"
 
+_SPACES = {
+    "base-4 (b=2)": IdSpace(bits=160, digit_bits=2),
+    "base-16 (b=4)": IdSpace(bits=160, digit_bits=4),
+}
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:  # noqa: ARG001
-    resolved = get_scale(scale)
-    spaces = {
-        "base-4 (b=2)": IdSpace(bits=160, digit_bits=2),
-        "base-16 (b=4)": IdSpace(bits=160, digit_bits=4),
-    }
-    rows = []
-    for label, space in spaces.items():
-        for n in resolved.complete_node_counts:
-            rows.append((label, n, round(expected_replicas_complete(space, n), 4)))
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+
+def _cells(ctx: RunContext, built: None) -> Iterator[tuple[str, int]]:
+    for label in _SPACES:
+        for n in ctx.scale.complete_node_counts:
+            yield label, n
+
+
+def _measure(ctx: RunContext, built: None, cell: tuple[str, int]) -> Iterable[tuple]:
+    label, n = cell
+    return [(label, n, round(expected_replicas_complete(_SPACES[label], n), 4))]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "analysis"),
+    figure="Figure 8",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=("digit_base", "nodes", "expected_replicas"),
-        rows=rows,
+        key_columns=("digit_base", "nodes"),
+        cells=_cells,
+        measure=_measure,
         notes=(
             "paper plots 1.55-1.63 slowly increasing in N; the base-4 series "
             "matches it (1.52-1.63)"
         ),
-        scale=resolved.name,
-        key_columns=('digit_base', 'nodes'),
     )
+
+
+run = spec.run

@@ -14,45 +14,56 @@ shrinking.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.scales import get_scale
+from typing import Iterable, Iterator
+
+from repro.experiments.base import mean
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.experiments.workloads import run_inserts
 
 EXPERIMENT_ID = "fig9"
 TITLE = "MPIL insertion: replicas, traffic, duplicate messages"
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    rows = []
+def _cells(ctx: RunContext, built: None) -> Iterator[tuple[str, int]]:
     for family in ("power-law", "random"):
-        for n in resolved.static_node_counts:
-            replicas: list[float] = []
-            traffic: list[float] = []
-            duplicates_total = 0
-            flows: list[float] = []
-            for graph_index in range(resolved.static_graphs):
-                run_data = run_inserts(
-                    family, n, graph_index, resolved.static_ops, seed
-                )
-                for result in run_data.insert_results:
-                    replicas.append(result.replica_count)
-                    traffic.append(result.traffic)
-                    duplicates_total += result.duplicates
-                    flows.append(result.flows_created)
-            rows.append(
-                (
-                    family,
-                    n,
-                    round(mean(replicas), 2),
-                    round(mean(traffic), 2),
-                    duplicates_total,
-                    round(mean(flows), 2),
-                )
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for n in ctx.scale.static_node_counts:
+            yield family, n
+
+
+def _measure(ctx: RunContext, built: None, cell: tuple[str, int]) -> Iterable[tuple]:
+    family, n = cell
+    replicas: list[float] = []
+    traffic: list[float] = []
+    duplicates_total = 0
+    flows: list[float] = []
+    for graph_index in range(ctx.scale.static_graphs):
+        run_data = run_inserts(family, n, graph_index, ctx.scale.static_ops, ctx.seed)
+        for result in run_data.insert_results:
+            replicas.append(result.replica_count)
+            traffic.append(result.traffic)
+            duplicates_total += result.duplicates
+            flows.append(result.flows_created)
+    return [
+        (
+            family,
+            n,
+            round(mean(replicas), 2),
+            round(mean(traffic), 2),
+            duplicates_total,
+            round(mean(flows), 2),
+        )
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "static", "insertion"),
+    figure="Figure 9",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "family",
             "nodes",
@@ -61,11 +72,14 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "total_duplicates",
             "avg_flows",
         ),
-        rows=rows,
+        key_columns=("family", "nodes"),
+        cells=_cells,
+        measure=_measure,
         notes=(
             "inserts with max_flows=30, per-flow replicas=5, DS on; replica "
             "count bounded by 150 regardless of N (paper Figure 9)"
         ),
-        scale=resolved.name,
-        key_columns=('family', 'nodes'),
     )
+
+
+run = spec.run

@@ -9,8 +9,11 @@ grows (bounded by the flow/replica budget, not by N).
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.scales import get_scale
+from typing import Iterable, Iterator
+
+from repro.experiments.base import mean
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.experiments.workloads import run_inserts, run_lookups
 
 EXPERIMENT_ID = "fig10"
@@ -20,43 +23,49 @@ LOOKUP_MAX_FLOWS = 10
 LOOKUP_REPLICAS = 5
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    rows = []
+def _cells(ctx: RunContext, built: None) -> Iterator[tuple[str, int]]:
     for family in ("power-law", "random"):
-        for n in resolved.static_node_counts:
-            hops: list[float] = []
-            traffic: list[float] = []
-            first_reply_traffic: list[float] = []
-            successes = 0
-            total = 0
-            for graph_index in range(resolved.static_graphs):
-                run_data = run_inserts(
-                    family, n, graph_index, resolved.static_ops, seed
-                )
-                for result in run_lookups(
-                    run_data, LOOKUP_MAX_FLOWS, LOOKUP_REPLICAS, seed
-                ):
-                    total += 1
-                    if result.success:
-                        successes += 1
-                        hops.append(result.first_reply_hop or 0)
-                        if result.traffic_at_first_reply is not None:
-                            first_reply_traffic.append(result.traffic_at_first_reply)
-                    traffic.append(result.traffic)
-            rows.append(
-                (
-                    family,
-                    n,
-                    round(mean(hops), 3),
-                    round(mean(traffic), 2),
-                    round(mean(first_reply_traffic), 2),
-                    round(100.0 * successes / total, 1) if total else 0.0,
-                )
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for n in ctx.scale.static_node_counts:
+            yield family, n
+
+
+def _measure(ctx: RunContext, built: None, cell: tuple[str, int]) -> Iterable[tuple]:
+    family, n = cell
+    hops: list[float] = []
+    traffic: list[float] = []
+    first_reply_traffic: list[float] = []
+    successes = 0
+    total = 0
+    for graph_index in range(ctx.scale.static_graphs):
+        run_data = run_inserts(family, n, graph_index, ctx.scale.static_ops, ctx.seed)
+        for result in run_lookups(run_data, LOOKUP_MAX_FLOWS, LOOKUP_REPLICAS, ctx.seed):
+            total += 1
+            if result.success:
+                successes += 1
+                hops.append(result.first_reply_hop or 0)
+                if result.traffic_at_first_reply is not None:
+                    first_reply_traffic.append(result.traffic_at_first_reply)
+            traffic.append(result.traffic)
+    return [
+        (
+            family,
+            n,
+            round(mean(hops), 3),
+            round(mean(traffic), 2),
+            round(mean(first_reply_traffic), 2),
+            round(100.0 * successes / total, 1) if total else 0.0,
+        )
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "static", "lookup"),
+    figure="Figure 10",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "family",
             "nodes",
@@ -65,8 +74,11 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "avg_traffic_at_first_reply",
             "success_%",
         ),
-        rows=rows,
+        key_columns=("family", "nodes"),
+        cells=_cells,
+        measure=_measure,
         notes="lookups with (10, 5); paper: latency and traffic flat in N",
-        scale=resolved.name,
-        key_columns=('family', 'nodes'),
     )
+
+
+run = spec.run

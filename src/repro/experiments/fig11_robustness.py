@@ -8,55 +8,80 @@ DS.  Expected ordering: MPIL without DS >= MPIL with DS >= MSPastry with RR
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.perturbed import ALL_VARIANTS, VARIANT_LABELS, build_testbed, run_cell
-from repro.experiments.scales import get_scale
+from typing import Iterable, Iterator
+
+from repro.experiments.perturbed import (
+    ALL_VARIANTS,
+    VARIANT_LABELS,
+    PerturbationTestbed,
+    build_testbed,
+    run_cell,
+)
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.perturbation.scenario import PERIOD_CONFIGS
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Success rate under perturbation: MSPastry vs MPIL (DS / no DS)"
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+def _build(ctx: RunContext) -> PerturbationTestbed:
+    return build_testbed(
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    rows = []
+
+
+def _cells(ctx: RunContext, testbed: PerturbationTestbed) -> Iterator[tuple[str, float]]:
     for period_label in PERIOD_CONFIGS["fig11"]:
-        for probability in resolved.flap_probabilities:
-            cells = run_cell(
-                testbed,
-                period_label,
-                probability,
-                resolved.perturbed_lookups,
-                variants=ALL_VARIANTS,
-                seed=seed,
-            )
-            by_variant = {cell.variant: cell for cell in cells}
-            rows.append(
-                (
-                    period_label,
-                    probability,
-                    *(
-                        round(by_variant[v].success_rate, 1)
-                        for v in ALL_VARIANTS
-                    ),
-                )
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for probability in ctx.scale.flap_probabilities:
+            yield period_label, probability
+
+
+def _measure(
+    ctx: RunContext, testbed: PerturbationTestbed, cell: tuple[str, float]
+) -> Iterable[tuple]:
+    period_label, probability = cell
+    cells = run_cell(
+        testbed,
+        period_label,
+        probability,
+        ctx.scale.perturbed_lookups,
+        variants=ALL_VARIANTS,
+        seed=ctx.seed,
+    )
+    by_variant = {result.variant: result for result in cells}
+    return [
+        (
+            period_label,
+            probability,
+            *(round(by_variant[v].success_rate, 1) for v in ALL_VARIANTS),
+        )
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "perturbation", "mpil", "pastry"),
+    figure="Figure 11",
+    scenario_family="flapping",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "idle:offline",
             "flap_prob",
             *(VARIANT_LABELS[v] for v in ALL_VARIANTS),
         ),
-        rows=rows,
+        key_columns=("idle:offline", "flap_prob"),
+        build=_build,
+        cells=_cells,
+        measure=_measure,
         notes=(
             "success rate %; paper ordering: MPIL w/o DS >= MPIL w/ DS >= "
             "MSPastry+RR >= MSPastry"
         ),
-        scale=resolved.name,
-        key_columns=('idle:offline', 'flap_prob'),
     )
+
+
+run = spec.run

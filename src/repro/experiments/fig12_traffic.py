@@ -8,9 +8,16 @@ more, since MPIL runs no maintenance at all).
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.perturbed import VARIANT_LABELS, build_testbed, run_cell
-from repro.experiments.scales import get_scale
+from typing import Iterable
+
+from repro.experiments.perturbed import (
+    VARIANT_LABELS,
+    PerturbationTestbed,
+    build_testbed,
+    run_cell,
+)
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 
 EXPERIMENT_ID = "fig12"
 TITLE = "Lookup traffic and total traffic (incl. maintenance), idle:offline=30:30"
@@ -19,35 +26,49 @@ PERIOD = "30:30"
 VARIANTS = ("pastry", "mpil-ds", "mpil-nods")
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    testbed = build_testbed(
-        resolved.pastry_nodes, resolved.perturbed_inserts, seed=seed
+def _build(ctx: RunContext) -> PerturbationTestbed:
+    return build_testbed(
+        ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
     )
-    rows = []
-    for probability in resolved.flap_probabilities:
-        cells = run_cell(
-            testbed,
-            PERIOD,
+
+
+def _cells(ctx: RunContext, testbed: PerturbationTestbed) -> Iterable[float]:
+    return ctx.scale.flap_probabilities
+
+
+def _measure(
+    ctx: RunContext, testbed: PerturbationTestbed, probability: float
+) -> Iterable[tuple]:
+    cells = run_cell(
+        testbed,
+        PERIOD,
+        probability,
+        ctx.scale.perturbed_lookups,
+        variants=VARIANTS,
+        seed=ctx.seed,
+    )
+    return [
+        (
+            VARIANT_LABELS[cell.variant],
             probability,
-            resolved.perturbed_lookups,
-            variants=VARIANTS,
-            seed=seed,
+            cell.lookup_messages,
+            cell.retransmissions,
+            round(cell.maintenance_messages),
+            round(cell.total_messages),
         )
-        for cell in cells:
-            rows.append(
-                (
-                    VARIANT_LABELS[cell.variant],
-                    probability,
-                    cell.lookup_messages,
-                    cell.retransmissions,
-                    round(cell.maintenance_messages),
-                    round(cell.total_messages),
-                )
-            )
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for cell in cells
+    ]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("figure", "paper", "perturbation", "traffic"),
+    figure="Figure 12",
+    scenario_family="flapping",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=(
             "variant",
             "flap_prob",
@@ -56,11 +77,15 @@ def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
             "maintenance_messages",
             "total_messages",
         ),
-        rows=rows,
+        key_columns=("variant", "flap_prob"),
+        build=_build,
+        cells=_cells,
+        measure=_measure,
         notes=(
             "paper shape: MPIL lookup traffic >> MSPastry lookup traffic, but "
             "MSPastry total traffic (incl. maintenance probes) >> MPIL total"
         ),
-        scale=resolved.name,
-        key_columns=('variant', 'flap_prob'),
     )
+
+
+run = spec.run

@@ -1,81 +1,185 @@
-"""Registry mapping experiment ids to their run functions."""
+"""Decorator-based experiment registry.
+
+Experiment modules register themselves with the :func:`experiment`
+decorator instead of being enumerated in a hand-maintained dict::
+
+    @experiment(id="fig9", title=TITLE, tags=("figure", "static"), figure="Figure 9")
+    def spec() -> Pipeline:
+        return Pipeline(columns=..., cells=..., measure=...)
+
+    run = spec.run  # the decorated name is the registered ExperimentSpec
+
+The decorator builds an :class:`~repro.experiments.spec.ExperimentSpec`
+from the metadata plus the factory's :class:`~repro.experiments.spec.Pipeline`,
+registers it (rejecting duplicate ids), and returns it — so the module
+keeps a handle for direct use while the registry serves lookups by id.
+
+The built-in experiment modules are imported lazily on the first registry
+query, in the catalogue order figures/tables -> ablations -> baselines ->
+extensions; anything else (e.g. a spec composed from TOML via
+:mod:`repro.experiments.compose`) can be added at runtime with
+:func:`register` and removed with :func:`unregister`.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+import importlib
+from typing import Callable, Iterable, Optional
 
 from repro.errors import ExperimentError
-from repro.experiments import (
-    ablations,
-    baseline_comparison,
-    ext_adversarial,
-    ext_churn,
-    ext_joinstorm,
-    ext_outage,
-    ext_wave,
-    fig01_pastry_perturbation,
-    fig07_local_maxima,
-    fig08_complete_replicas,
-    fig09_insertion,
-    fig10_lookup,
-    fig11_robustness,
-    fig12_traffic,
-    table3_flows,
-    tables12_success,
-)
 from repro.experiments.base import ExperimentResult
+from repro.experiments.spec import ExperimentSpec, Pipeline
 
 RunFunction = Callable[..., ExperimentResult]
 
-_REGISTRY: dict[str, tuple[str, RunFunction]] = {
-    "fig1": (fig01_pastry_perturbation.TITLE, fig01_pastry_perturbation.run),
-    "fig7": (fig07_local_maxima.TITLE, fig07_local_maxima.run),
-    "fig8": (fig08_complete_replicas.TITLE, fig08_complete_replicas.run),
-    "fig9": (fig09_insertion.TITLE, fig09_insertion.run),
-    "fig10": (fig10_lookup.TITLE, fig10_lookup.run),
-    "fig11": (fig11_robustness.TITLE, fig11_robustness.run),
-    "fig12": (fig12_traffic.TITLE, fig12_traffic.run),
-    "tab1": (
-        "MPIL lookup success rate over power-law topologies",
-        tables12_success.run_table1,
-    ),
-    "tab2": (
-        "MPIL lookup success rate over random topologies",
-        tables12_success.run_table2,
-    ),
-    "tab3": (table3_flows.TITLE, table3_flows.run),
-    "ablation-metric": (
-        "Routing metric ablation (common-digits vs prefix vs suffix)",
-        ablations.run_metric_ablation,
-    ),
-    "ablation-ds": (
-        "Duplicate suppression ablation (static insertion)",
-        ablations.run_ds_ablation,
-    ),
-    "ablation-flows": (
-        "Lookup success vs max_flows budget",
-        ablations.run_flows_ablation,
-    ),
-    "ablation-tiebreak": (
-        "Tie-breaking policy ablation",
-        ablations.run_tiebreak_ablation,
-    ),
-    "baseline-comparison": (baseline_comparison.TITLE, baseline_comparison.run),
-    "ext-churn": (ext_churn.TITLE, ext_churn.run),
-    "ext-outage": (ext_outage.TITLE, ext_outage.run),
-    "ext-wave": (ext_wave.TITLE, ext_wave.run),
-    "ext-joinstorm": (ext_joinstorm.TITLE, ext_joinstorm.run),
-    "ext-adversarial": (ext_adversarial.TITLE, ext_adversarial.run),
-}
+_REGISTRY: dict[str, ExperimentSpec] = {}
+
+#: built-in experiment modules, in catalogue order; importing one runs its
+#: ``@experiment`` decorators, which is what populates the registry
+_EXPERIMENT_MODULES: tuple[str, ...] = (
+    "repro.experiments.fig01_pastry_perturbation",
+    "repro.experiments.fig07_local_maxima",
+    "repro.experiments.fig08_complete_replicas",
+    "repro.experiments.fig09_insertion",
+    "repro.experiments.fig10_lookup",
+    "repro.experiments.fig11_robustness",
+    "repro.experiments.fig12_traffic",
+    "repro.experiments.tables12_success",
+    "repro.experiments.table3_flows",
+    "repro.experiments.ablations",
+    "repro.experiments.baseline_comparison",
+    "repro.experiments.ext_churn",
+    "repro.experiments.ext_outage",
+    "repro.experiments.ext_wave",
+    "repro.experiments.ext_joinstorm",
+    "repro.experiments.ext_adversarial",
+)
+
+_loaded = False
+_loading = False
+
+#: presentation order per id: (module rank, registration sequence).  Ids from
+#: built-in modules rank by catalogue position regardless of which module
+#: happened to be imported first (a test importing ``ext_outage`` directly
+#: must not reshuffle ``list``); runtime registrations sort after them.
+_ORDER: dict[str, tuple[int, int]] = {}
+_RUNTIME_RANK = len(_EXPERIMENT_MODULES)
+_sequence = 0
+
+
+def _ensure_loaded() -> None:
+    global _loaded, _loading
+    if _loaded or _loading:
+        return
+    # The in-progress flag guards reentrancy (register() is called from the
+    # imports below); _loaded is only set on success, so a failed import —
+    # however it was swallowed — makes the next query retry rather than
+    # silently serving a half-populated catalogue.
+    _loading = True
+    try:
+        for module in _EXPERIMENT_MODULES:
+            importlib.import_module(module)
+        _loaded = True
+    finally:
+        _loading = False
+
+
+def _ordered_ids() -> list[str]:
+    return sorted(_REGISTRY, key=lambda experiment_id: _ORDER[experiment_id])
+
+
+def register(spec: ExperimentSpec, _module: Optional[str] = None) -> ExperimentSpec:
+    """Add a spec to the registry, rejecting duplicate ids."""
+    global _sequence
+    # Load the built-ins first (no-op while they are loading: _loaded is
+    # already set) so a runtime registration cannot silently shadow e.g.
+    # "fig9" in a process that never queried the registry.
+    _ensure_loaded()
+    if spec.experiment_id in _REGISTRY:
+        raise ExperimentError(
+            f"experiment id {spec.experiment_id!r} is already registered "
+            f"({_REGISTRY[spec.experiment_id].title!r}); ids must be unique"
+        )
+    rank = (
+        _EXPERIMENT_MODULES.index(_module)
+        if _module in _EXPERIMENT_MODULES
+        else _RUNTIME_RANK
+    )
+    _sequence += 1
+    _ORDER[spec.experiment_id] = (rank, _sequence)
+    _REGISTRY[spec.experiment_id] = spec
+    return spec
+
+
+def unregister(experiment_id: str) -> None:
+    """Remove a runtime-registered spec (composed specs, tests).
+
+    Built-in experiments cannot be removed: their modules are imported at
+    most once per process, so nothing could ever re-register them.
+    """
+    _ensure_loaded()
+    if experiment_id not in _REGISTRY:
+        raise ExperimentError(f"experiment {experiment_id!r} is not registered")
+    if _ORDER[experiment_id][0] < _RUNTIME_RANK:
+        raise ExperimentError(
+            f"experiment {experiment_id!r} is built in and cannot be unregistered"
+        )
+    del _REGISTRY[experiment_id]
+    del _ORDER[experiment_id]
+
+
+def experiment(
+    *,
+    id: str,
+    title: str,
+    tags: Iterable[str] = (),
+    figure: Optional[str] = None,
+    scenario_family: Optional[str] = None,
+) -> Callable[[Callable[[], Pipeline]], ExperimentSpec]:
+    """Register the decorated pipeline factory as an experiment.
+
+    The factory takes no arguments and returns the spec's
+    :class:`~repro.experiments.spec.Pipeline`; it is invoked once, at
+    decoration time, and the decorated name is rebound to the registered
+    :class:`~repro.experiments.spec.ExperimentSpec`.
+    """
+
+    def decorate(factory: Callable[[], Pipeline]) -> ExperimentSpec:
+        return register(
+            ExperimentSpec(
+                experiment_id=id,
+                title=title,
+                pipeline=factory(),
+                tags=tuple(tags),
+                figure=figure,
+                scenario_family=scenario_family,
+            ),
+            _module=factory.__module__,
+        )
+
+    return decorate
+
+
+def list_experiments(tags: Iterable[str] = ()) -> list[ExperimentSpec]:
+    """Registered specs in catalogue order, optionally filtered by tags."""
+    _ensure_loaded()
+    wanted = tuple(tags)
+    return [
+        spec
+        for spec in (_REGISTRY[experiment_id] for experiment_id in _ordered_ids())
+        if not wanted or spec.matches_tags(wanted)
+    ]
 
 
 def all_experiment_ids() -> list[str]:
     """Registered experiment ids, figures/tables first."""
-    return list(_REGISTRY)
+    _ensure_loaded()
+    return _ordered_ids()
 
 
-def get_experiment(experiment_id: str) -> tuple[str, RunFunction]:
-    """(title, run function) for an experiment id."""
+def get_spec(experiment_id: str) -> ExperimentSpec:
+    """The registered spec for an experiment id."""
+    _ensure_loaded()
     try:
         return _REGISTRY[experiment_id]
     except KeyError:
@@ -84,20 +188,19 @@ def get_experiment(experiment_id: str) -> tuple[str, RunFunction]:
         ) from None
 
 
+def get_experiment(experiment_id: str) -> tuple[str, RunFunction]:
+    """(title, run function) for an experiment id."""
+    spec = get_spec(experiment_id)
+    return spec.title, spec.run
+
+
 def run_experiment(
     experiment_id: str, scale: str = "default", seed: int = 0
 ) -> ExperimentResult:
     """Run one experiment by id.
 
-    ``seed`` must be a real int (bools are rejected): every derived random
-    stream hashes ``repr(seed)``, so ``0``, ``"0"``, and ``False`` would
-    silently produce three different trajectories — and the sweep runner
-    fans seeds out to worker processes, where such a mix-up would corrupt a
-    whole replicate set instead of one run.
+    Seed validation (ints only; bools rejected) happens in
+    :meth:`ExperimentSpec.run <repro.experiments.spec.ExperimentSpec.run>`,
+    the experiment layer's single choke point.
     """
-    if isinstance(seed, bool) or not isinstance(seed, int):
-        raise ExperimentError(
-            f"seed must be an int, got {type(seed).__name__} {seed!r}"
-        )
-    _title, fn = get_experiment(experiment_id)
-    return fn(scale=scale, seed=seed)
+    return get_spec(experiment_id).run(scale=scale, seed=seed)

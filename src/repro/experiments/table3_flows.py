@@ -7,8 +7,11 @@ staying under) the budget and growing with overlay size.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, mean
-from repro.experiments.scales import get_scale
+from typing import Iterable, Iterator
+
+from repro.experiments.base import mean
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.experiments.workloads import run_inserts, run_lookups
 
 EXPERIMENT_ID = "tab3"
@@ -18,30 +21,39 @@ LOOKUP_MAX_FLOWS = 10
 LOOKUP_REPLICAS = 3
 
 
-def run(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    resolved = get_scale(scale)
-    rows = []
+def _cells(ctx: RunContext, built: None) -> Iterator[tuple[str, int]]:
     for family in ("power-law", "random"):
-        for n in resolved.static_node_counts:
-            flows: list[float] = []
-            for graph_index in range(resolved.static_graphs):
-                run_data = run_inserts(
-                    family, n, graph_index, resolved.static_ops, seed
-                )
-                for result in run_lookups(
-                    run_data, LOOKUP_MAX_FLOWS, LOOKUP_REPLICAS, seed
-                ):
-                    flows.append(result.flows_created)
-            rows.append((family, n, round(mean(flows), 3)))
-    return ExperimentResult(
-        experiment_id=EXPERIMENT_ID,
-        title=TITLE,
+        for n in ctx.scale.static_node_counts:
+            yield family, n
+
+
+def _measure(ctx: RunContext, built: None, cell: tuple[str, int]) -> Iterable[tuple]:
+    family, n = cell
+    flows: list[float] = []
+    for graph_index in range(ctx.scale.static_graphs):
+        run_data = run_inserts(family, n, graph_index, ctx.scale.static_ops, ctx.seed)
+        for result in run_lookups(run_data, LOOKUP_MAX_FLOWS, LOOKUP_REPLICAS, ctx.seed):
+            flows.append(result.flows_created)
+    return [(family, n, round(mean(flows), 3))]
+
+
+@experiment(
+    id=EXPERIMENT_ID,
+    title=TITLE,
+    tags=("table", "paper", "static", "lookup"),
+    figure="Table 3",
+)
+def spec() -> Pipeline:
+    return Pipeline(
         columns=("family", "nodes", "actual_flows"),
-        rows=rows,
+        key_columns=("family", "nodes"),
+        cells=_cells,
+        measure=_measure,
         notes=(
             f"lookups with max_flows={LOOKUP_MAX_FLOWS}, per-flow "
             f"replicas={LOOKUP_REPLICAS}; paper reports 8.78-9.63, growing with N"
         ),
-        scale=resolved.name,
-        key_columns=('family', 'nodes'),
     )
+
+
+run = spec.run

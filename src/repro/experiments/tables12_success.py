@@ -11,59 +11,67 @@ overlays are near-perfect already at r = 1 and saturate at r >= 2.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult
-from repro.experiments.scales import get_scale
+from typing import Iterable
+
+from repro.experiments.registry import experiment
+from repro.experiments.spec import Pipeline, RunContext
 from repro.experiments.workloads import run_inserts, run_lookups
 
 LOOKUP_MAX_FLOWS = (5, 10, 15)
 LOOKUP_REPLICAS = (1, 2, 3, 4, 5)
 
 
-def _run_family(family: str, experiment_id: str, title: str, scale, seed) -> ExperimentResult:
-    resolved = get_scale(scale)
-    rows = []
-    for n in resolved.static_node_counts:
+def _family_pipeline(family: str) -> Pipeline:
+    def cells(ctx: RunContext, built: None) -> Iterable[int]:
+        return ctx.scale.static_node_counts
+
+    def measure(ctx: RunContext, built: None, n: int) -> Iterable[tuple]:
         runs = [
-            run_inserts(family, n, graph_index, resolved.static_ops, seed)
-            for graph_index in range(resolved.static_graphs)
+            run_inserts(family, n, graph_index, ctx.scale.static_ops, ctx.seed)
+            for graph_index in range(ctx.scale.static_graphs)
         ]
+        rows = []
         for max_flows in LOOKUP_MAX_FLOWS:
             per_r: list[float] = []
             for replicas in LOOKUP_REPLICAS:
                 successes = 0
                 total = 0
                 for run_data in runs:
-                    for result in run_lookups(run_data, max_flows, replicas, seed):
+                    for result in run_lookups(run_data, max_flows, replicas, ctx.seed):
                         successes += int(result.success)
                         total += 1
                 per_r.append(round(100.0 * successes / total, 1) if total else 0.0)
             rows.append((n, max_flows, *per_r))
-    return ExperimentResult(
-        experiment_id=experiment_id,
-        title=title,
+        return rows
+
+    return Pipeline(
         columns=("nodes", "max_flows", "r=1", "r=2", "r=3", "r=4", "r=5"),
-        rows=rows,
+        key_columns=("nodes", "max_flows"),
+        cells=cells,
+        measure=measure,
         notes="success rate %; inserts with (30, 5); DS on",
-        scale=resolved.name,
-        key_columns=('nodes', 'max_flows'),
     )
 
 
-def run_table1(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    return _run_family(
-        "power-law",
-        "tab1",
-        "MPIL lookup success rate over power-law topologies",
-        scale,
-        seed,
-    )
+@experiment(
+    id="tab1",
+    title="MPIL lookup success rate over power-law topologies",
+    tags=("table", "paper", "static", "lookup"),
+    figure="Table 1",
+)
+def table1_spec() -> Pipeline:
+    return _family_pipeline("power-law")
 
 
-def run_table2(scale: str = "default", seed: object = 0) -> ExperimentResult:
-    return _run_family(
-        "random",
-        "tab2",
-        "MPIL lookup success rate over random topologies",
-        scale,
-        seed,
-    )
+@experiment(
+    id="tab2",
+    title="MPIL lookup success rate over random topologies",
+    tags=("table", "paper", "static", "lookup"),
+    figure="Table 2",
+)
+def table2_spec() -> Pipeline:
+    return _family_pipeline("random")
+
+
+run_table1 = table1_spec.run
+run_table2 = table2_spec.run

@@ -7,15 +7,18 @@ Two things live here:
   configurations in Figure 1: 1:1, 45:15, 30:30, 300:300; three in
   Figures 11–12: 1:1, 30:30, 300:300);
 - the **scenario-family catalogue** — one entry per availability-process
-  family the engine implements, each pointing at its registered ``ext_*``
-  experiment so ``mpil-experiments scenarios`` can route users from a
-  failure mode to a runnable sweep.
+  family the engine implements.
+
+Which *experiments* sweep a family is not recorded here: experiment specs
+declare their ``scenario_family`` in the registry
+(:mod:`repro.experiments.registry`), and ``mpil-experiments scenarios``
+joins the two — so registering a new sweep automatically updates the
+catalogue listing.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
@@ -85,7 +88,6 @@ class ScenarioFamily:
     name: str
     summary: str
     process: str  #: the implementing class, dotted from repro.perturbation
-    experiment_id: Optional[str] = None  #: registered ``ext_*`` sweep, if any
 
 
 #: Every scenario family, in catalogue order.  Families compose freely via
@@ -97,37 +99,31 @@ SCENARIO_FAMILIES: dict[str, ScenarioFamily] = {
             name="flapping",
             summary="the paper's synchronized idle/offline cycles (figs 1, 11, 12)",
             process="flapping.FlappingSchedule",
-            experiment_id="fig11",
         ),
         ScenarioFamily(
             name="churn",
             summary="exponential on/off renewal sessions (Overnet/Napster-style)",
             process="churn.ChurnSchedule",
-            experiment_id="ext-churn",
         ),
         ScenarioFamily(
             name="regional-outage",
             summary="correlated outage of whole transit-stub domains",
             process="outage.RegionalOutage",
-            experiment_id="ext-outage",
         ),
         ScenarioFamily(
             name="churn-wave",
             summary="churn with periodically surging join/leave rates",
             process="waves.ChurnWaveSchedule",
-            experiment_id="ext-wave",
         ),
         ScenarioFamily(
             name="join-storm",
             summary="mass simultaneous arrivals rejoining through a perturbed net",
             process="storms.JoinStormSchedule",
-            experiment_id="ext-joinstorm",
         ),
         ScenarioFamily(
             name="adversarial-removal",
             summary="permanent deletion of the highest-degree overlay nodes",
             process="adversarial.AdversarialRemoval",
-            experiment_id="ext-adversarial",
         ),
     )
 }

@@ -77,6 +77,20 @@ class TestMain:
         for experiment_id in ("fig1", "fig7", "tab1", "ablation-metric", "ext-outage"):
             assert experiment_id in output
 
+    def test_list_filters_by_tags(self, capsys):
+        assert main(["list", "--tags", "ext"]) == 0
+        output = capsys.readouterr().out
+        lines = [line for line in output.splitlines() if line.strip()]
+        assert len(lines) == 5
+        assert all(line.startswith("ext-") for line in lines)
+
+    def test_list_verbose_shows_metadata(self, capsys):
+        assert main(["list", "--tags", "figure,paper", "--verbose"]) == 0
+        output = capsys.readouterr().out
+        assert "reproduces Figure 9" in output
+        assert "tags:" in output
+        assert "tab1" not in output  # tables are not tagged 'figure'
+
     def test_scenarios_prints_catalogue(self, capsys):
         assert main(["scenarios"]) == 0
         output = capsys.readouterr().out
@@ -88,6 +102,17 @@ class TestMain:
         output = capsys.readouterr().out
         assert "ChurnWaveSchedule" in output
         assert "ext-wave" in output
+
+    def test_scenarios_catalogue_joins_registry_metadata(self, capsys):
+        """The experiment column comes from each spec's scenario_family —
+        flapping lists all three paper sweeps, not a hand-maintained one."""
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        flapping_line = next(
+            line for line in output.splitlines() if line.startswith("flapping")
+        )
+        assert "fig1,fig11,fig12" in flapping_line
+        assert "ext-adversarial" in output
 
     def test_scenarios_figure_sweep(self, capsys):
         assert main(["scenarios", "--figure", "fig11"]) == 0
@@ -186,6 +211,112 @@ class TestSweepMain:
         assert lines[0].startswith("nodes,") or "," in lines[0]
 
 
+SPEC_TOML = """
+[experiment]
+id = "{experiment_id}"
+title = "CLI-composed severity sweep"
+tags = ["composed"]
+
+[sweep]
+column = "severity"
+values = [0.0, 1.0]
+
+[[scenario]]
+family = "regional-outage"
+start = 90.0
+duration = 600.0
+severity = "$severity"
+"""
+
+
+class TestComposeMain:
+    def _write_spec(self, tmp_path, experiment_id):
+        pytest.importorskip("tomllib")
+        path = tmp_path / "sweep.toml"
+        path.write_text(SPEC_TOML.format(experiment_id=experiment_id))
+        return path
+
+    def _unregister(self, experiment_id):
+        from repro.experiments import unregister
+
+        unregister(experiment_id)
+
+    def test_compose_runs_and_prints_table(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, "cli-composed")
+        try:
+            assert main(["compose", str(path), "--scale", "smoke"]) == 0
+        finally:
+            self._unregister("cli-composed")
+        output = capsys.readouterr().out
+        assert "cli-composed" in output
+        assert "severity" in output
+        assert "completed in" in output
+
+    def test_compose_writes_store_artifacts(self, tmp_path, capsys):
+        path = self._write_spec(tmp_path, "cli-composed-out")
+        out = tmp_path / "results"
+        try:
+            code = main(
+                ["compose", str(path), "--scale", "smoke", "--seed", "2",
+                 "--out", str(out)]
+            )
+        finally:
+            self._unregister("cli-composed-out")
+        assert code == 0
+        capsys.readouterr()
+        assert (out / "cli-composed-out" / "smoke" / "seed_2.json").exists()
+        assert (out / "cli-composed-out_smoke_seed2.txt").exists()
+
+    def test_compose_rejects_registered_id(self, tmp_path, capsys):
+        """A spec file cannot shadow a built-in experiment id."""
+        path = self._write_spec(tmp_path, "fig9")
+        assert main(["compose", str(path), "--scale", "smoke"]) == 2
+        err = capsys.readouterr().err
+        assert "already registered" in err
+        assert "Traceback" not in err
+
+    def test_compose_rejects_registered_id_in_fresh_process(self, tmp_path):
+        """The shadow check must hold even when compose is the process's
+        first registry touch (register() loads the built-ins itself)."""
+        import json as json_module
+        import subprocess
+        import sys
+
+        path = tmp_path / "shadow.json"
+        path.write_text(
+            json_module.dumps(
+                {
+                    "experiment": {"id": "fig9", "title": "shadow attempt"},
+                    "sweep": {"column": "severity", "values": [0.0]},
+                    "scenario": [
+                        {
+                            "family": "regional-outage",
+                            "start": 90.0,
+                            "duration": 600.0,
+                            "severity": "$severity",
+                        }
+                    ],
+                }
+            )
+        )
+        import os
+        import pathlib
+
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.experiments.cli", "compose", str(path),
+             "--scale", "smoke"],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == 2, proc.stderr
+        assert "already registered" in proc.stderr
+        assert "Traceback" not in proc.stderr
+
+
 class TestErrorPaths:
     """Every expected user-facing error (ExperimentError/ConfigurationError)
     surfaces as one stderr line, never a traceback; internal-bug classes
@@ -224,6 +355,16 @@ class TestErrorPaths:
     def test_scenario_family_and_figure_conflict(self, capsys):
         self._assert_one_line_error(
             capsys, ["scenarios", "churn", "--figure", "fig11"], "not both"
+        )
+
+    def test_unknown_list_tag(self, capsys):
+        self._assert_one_line_error(
+            capsys, ["list", "--tags", "meteors"], "meteors"
+        )
+
+    def test_compose_missing_file(self, capsys, tmp_path):
+        self._assert_one_line_error(
+            capsys, ["compose", str(tmp_path / "absent.toml")], "does not exist"
         )
 
     def test_malformed_seed_range(self, capsys):

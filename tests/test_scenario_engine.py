@@ -425,13 +425,20 @@ class TestScenarioCatalogue:
             "adversarial-removal",
         }
 
-    def test_family_experiments_are_registered(self):
-        from repro.experiments import all_experiment_ids
+    def test_every_family_has_a_registered_sweep(self):
+        """The family -> experiment linkage lives in the registry metadata
+        (spec.scenario_family), not in the catalogue: every family must be
+        swept by at least one registered experiment, and every declared
+        scenario_family must name a real catalogue entry."""
+        from repro.experiments import list_experiments
 
-        registered = set(all_experiment_ids())
-        for family in scenario_families():
-            if family.experiment_id is not None:
-                assert family.experiment_id in registered
+        families = {family.name for family in scenario_families()}
+        swept: set[str] = set()
+        for spec in list_experiments():
+            if spec.scenario_family is not None:
+                assert spec.scenario_family in families, spec.experiment_id
+                swept.add(spec.scenario_family)
+        assert swept == families
 
     def test_unknown_family(self):
         with pytest.raises(ConfigurationError):
