@@ -6,9 +6,12 @@ Four verbs cover the workflow end to end:
   paper figure, scenario family), optionally filtered by tags;
 - :func:`run` — one experiment (by id, or an unregistered
   :class:`~repro.experiments.spec.ExperimentSpec`) at one seed;
-- :func:`sweep` — experiments x seeds, optionally across a worker pool,
-  persisting replicates and aggregates through a
-  :class:`~repro.experiments.store.ResultStore`;
+- :func:`sweep` — experiments x seeds across a crash-tolerant worker
+  pool, persisting replicates, a durable task ledger, and aggregates
+  through a :class:`~repro.experiments.store.ResultStore`;
+  ``resume=True`` re-runs only what an interrupted sweep left behind;
+- :func:`sweep_status` — a sweep's ledger rows (task states, attempts,
+  checksums) without running anything;
 - :func:`compose` — build a runnable spec from a declarative TOML file or
   dict (see :mod:`repro.experiments.compose`), no module required.
 
@@ -18,7 +21,11 @@ Example::
 
     print([spec.experiment_id for spec in api.list_experiments(tags=("ext",))])
     result = api.run("fig9", scale="smoke", seed=1)
-    report = api.sweep(["fig9", "tab1"], seeds="0..3", scale="smoke", jobs=2)
+    report = api.sweep(["fig9", "tab1"], seeds="0..3", scale="smoke", jobs=2,
+                       store="results")
+    # interrupted?  finish what's missing, skip what's verified complete:
+    report = api.sweep(["fig9", "tab1"], seeds="0..3", scale="smoke", jobs=2,
+                       store="results", resume=True)
     custom = api.compose("severity-sweep.toml")
     print(api.run(custom, scale="smoke").table())
 
@@ -31,10 +38,11 @@ through the result store.
 from __future__ import annotations
 
 import pathlib
-from typing import Iterable, Mapping, Union
+from typing import Iterable, Mapping, Optional, Union
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.compose import compose_spec, load_spec_file
+from repro.experiments.ledger import TaskRow
 from repro.experiments.registry import (
     get_spec,
     list_experiments as _registry_list,
@@ -57,6 +65,7 @@ __all__ = [
     "register",
     "run",
     "sweep",
+    "sweep_status",
     "unregister",
 ]
 
@@ -88,13 +97,20 @@ def sweep(
     scale: str = "default",
     jobs: int = 1,
     store: Union[ResultStore, str, pathlib.Path, None] = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    task_timeout: Optional[float] = None,
 ) -> SweepReport:
     """Run registered experiments over a seed set, like the CLI ``sweep``.
 
     ``seeds`` accepts the CLI's spec syntax (``"0..9"``, ``"0,2,5"``,
     ``"7"``) or an iterable of ints; ``store`` may be a
     :class:`~repro.experiments.store.ResultStore`, a directory path, or
-    ``None`` to keep results in memory only.
+    ``None`` to keep results in memory only.  With a store the sweep is
+    durable (sqlite task ledger, crash-tolerant workers, atomic artifact
+    commits): ``resume=True`` skips verified-complete tasks from an
+    earlier interrupted call, ``max_retries``/``task_timeout`` bound
+    crashed and hung workers.
     """
     if isinstance(experiments, str):
         experiments = (experiments,)
@@ -107,7 +123,30 @@ def sweep(
     spec = SweepSpec(
         experiment_ids=tuple(experiments), seeds=seed_tuple, scale=scale
     )
-    return run_sweep(spec, store, jobs=jobs)
+    return run_sweep(
+        spec,
+        store,
+        jobs=jobs,
+        resume=resume,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+    )
+
+
+def sweep_status(
+    store: Union[ResultStore, str, pathlib.Path],
+    experiment: Optional[str] = None,
+    scale: Optional[str] = None,
+) -> list[TaskRow]:
+    """A sweep's ledger rows, like the CLI ``status`` (read-only).
+
+    Each :class:`~repro.experiments.ledger.TaskRow` carries the task's
+    state (``pending/running/done/failed``), attempt count, worker id,
+    committed-artifact checksum, and last error.
+    """
+    if isinstance(store, (str, pathlib.Path)):
+        store = ResultStore(store)
+    return store.ledger.rows(experiment_id=experiment, scale=scale)
 
 
 def compose(

@@ -38,3 +38,9 @@ class RoutingError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was requested with an unknown id or invalid scale."""
+
+
+class LedgerError(ExperimentError):
+    """The sweep task ledger rejected a state transition or could not be
+    accessed (e.g. it is locked by another process).  A subclass of
+    :class:`ExperimentError` so CLI error handling stays one ``except``."""

@@ -1,6 +1,6 @@
-"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|compose|perf``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|compose|perf``.
 
-Six commands:
+Seven commands:
 
 - ``list`` — show every registered experiment id and title, with
   ``--tags`` filtering on the registry metadata (``list --tags ext``);
@@ -11,10 +11,15 @@ Six commands:
 - ``run``  — run experiments one seed at a time, print their tables, and
   (with ``--out``) persist each replicate through the result store plus a
   legacy ``<id>_<scale>_seed<seed>.txt`` table;
-- ``sweep`` — run experiments over a *set* of seeds, optionally across a
-  worker pool, persisting per-seed JSON artifacts and a mean/stdev/ci95
-  aggregate per experiment (see :mod:`repro.experiments.runner` and
-  :mod:`repro.experiments.store`);
+- ``sweep`` — run experiments over a *set* of seeds across a
+  crash-tolerant worker pool, persisting per-seed JSON artifacts, a
+  durable sqlite task ledger, and a mean/stdev/ci95 aggregate per
+  experiment; ``--resume`` re-runs only what an interrupted sweep left
+  unfinished, ``--max-retries``/``--task-timeout`` bound crashed and hung
+  workers (see :mod:`repro.experiments.runner`,
+  :mod:`repro.experiments.runtime`, :mod:`repro.experiments.store`);
+- ``status`` — render one experiment's ledger progress (done/running/
+  failed/pending per seed, attempts, errors) without running anything;
 - ``compose`` — build an experiment from a declarative TOML/JSON spec
   (see :mod:`repro.experiments.compose`) and run it, no module required;
 - ``perf`` — profile experiments (events/sec, wall clock, cProfile top-k)
@@ -37,6 +42,8 @@ Examples::
     mpil-experiments run all --scale default --out results/
     mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format json
     mpil-experiments sweep fig9 --seeds 0,2,5 --scale smoke --format csv
+    mpil-experiments sweep fig9 --seeds 0..99 --jobs 4 --resume --task-timeout 300
+    mpil-experiments status fig9 --out results
     mpil-experiments compose my-sweep.toml --scale smoke --seed 1
     mpil-experiments perf fig9 ext-outage --scale smoke --check benchmarks/baseline.json
 
@@ -55,8 +62,10 @@ from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.compose import compose_spec, load_spec_file
+from repro.experiments.ledger import TASK_STATES
 from repro.experiments.registry import (
     all_experiment_ids,
+    get_spec,
     list_experiments,
     register,
     run_experiment,
@@ -163,6 +172,44 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("table", "json", "csv"),
         default="table",
         help="how to print each experiment's aggregate",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "resume an interrupted sweep: skip ledger-verified complete "
+            "tasks, reclaim orphaned ones, and retry failed ones"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="re-attempts per task after a crash/hang/error (default: 2)",
+    )
+    sweep_parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any task attempt running longer than this",
+    )
+
+    status_parser = sub.add_parser(
+        "status", help="show a sweep's ledger progress for one experiment"
+    )
+    status_parser.add_argument("experiment", help="experiment id")
+    status_parser.add_argument(
+        "--scale",
+        default=None,
+        choices=sorted(SCALES),
+        help="only this scale's tasks (default: every scale in the ledger)",
+    )
+    status_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("results"),
+        help="result-store root holding the ledger (default: results/)",
     )
 
     compose_parser = sub.add_parser(
@@ -384,7 +431,27 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    report = run_sweep(spec, store, jobs=args.jobs, progress=progress)
+    report = run_sweep(
+        spec,
+        store,
+        jobs=args.jobs,
+        progress=progress,
+        resume=args.resume,
+        max_retries=args.max_retries,
+        task_timeout=args.task_timeout,
+    )
+    for entry in report.skipped:
+        print(
+            f"[{entry.experiment_id} seed={entry.seed}] skipped "
+            f"(complete, checksum verified)",
+            file=sys.stderr,
+        )
+    for failure in report.failures:
+        print(
+            f"[{failure.experiment_id} seed={failure.seed}] FAILED after "
+            f"{failure.attempts} attempts: {failure.error}",
+            file=sys.stderr,
+        )
     for aggregate in report.aggregates:
         if args.format == "table":
             print(aggregate.table())
@@ -394,12 +461,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         else:
             print(result_to_csv(aggregate), end="")
     print(
-        f"(swept {len(report.outcomes)} tasks "
+        f"(swept {len(report.outcomes)} tasks, skipped {len(report.skipped)}, "
+        f"failed {len(report.failures)} "
         f"[{len(spec.experiment_ids)} experiments x {len(spec.seeds)} seeds] "
         f"in {report.wall_clock:.1f}s with jobs={args.jobs}; "
         f"artifacts under {args.out}/)",
         file=sys.stderr,
     )
+    if report.failures:
+        print(
+            f"mpil-experiments sweep: {len(report.failures)} task(s) failed "
+            f"permanently; re-run with `sweep --resume` to retry them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    store = ResultStore(args.out)
+    if not store.ledger_path.exists():
+        raise ExperimentError(
+            f"no sweep ledger at {store.ledger_path}; "
+            f"run `sweep --out {args.out}` first"
+        )
+    rows = store.ledger.rows(experiment_id=args.experiment, scale=args.scale)
+    if not rows:
+        get_spec(args.experiment)  # unknown ids get the one-line error
+        where = f"scale {args.scale!r} of " if args.scale else ""
+        raise ExperimentError(
+            f"no ledger entries for {where}experiment {args.experiment!r} "
+            f"under {args.out}"
+        )
+    by_scale: dict[str, list] = {}
+    for row in rows:
+        by_scale.setdefault(row.scale, []).append(row)
+    for scale, scale_rows in by_scale.items():
+        counts = {state: 0 for state in TASK_STATES}
+        for row in scale_rows:
+            counts[row.state] += 1
+        attempts = sum(row.attempts for row in scale_rows)
+        summary = ", ".join(f"{counts[state]} {state}" for state in TASK_STATES)
+        print(
+            f"{args.experiment}/{scale}: {summary} "
+            f"({len(scale_rows)} tasks, {attempts} attempts)"
+        )
+        for row in scale_rows:
+            detail = row.checksum if row.state == "done" else (row.error or "-")
+            print(
+                f"  seed {row.seed:<6d} {row.state:<8s} "
+                f"attempts={row.attempts}  {detail}"
+            )
     return 0
 
 
@@ -453,6 +565,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_compose(args)
         if args.command == "perf":
             return _cmd_perf(args)
+        if args.command == "status":
+            return _cmd_status(args)
         return _cmd_sweep(args)
     except (ExperimentError, ConfigurationError) as exc:
         # one line per expected user-facing error (unknown ids/scenarios,

@@ -1,19 +1,28 @@
-"""Parallel sweep runner: many experiments × many seeds, one result store.
+"""Resumable sweep runner: many experiments × many seeds, one result store.
 
 The paper's headline numbers are Monte-Carlo aggregates over many seeds and
 topologies.  This module turns that into a first-class workflow: a
 :class:`SweepSpec` names the experiments, the seed set, and the scale; and
-:func:`run_sweep` executes every (experiment, seed) task — sequentially or
-across a ``multiprocessing`` pool — persisting each replicate through a
-:class:`~repro.experiments.store.ResultStore` and writing one aggregate
-(mean/stdev/ci95) table per experiment.
+:func:`run_sweep` executes every (experiment, seed) task, persisting each
+replicate through a :class:`~repro.experiments.store.ResultStore` and
+writing one aggregate (mean/stdev/ci95) table per experiment.
 
-Determinism is preserved under parallelism: each task re-derives all of its
-randomness from its own ``(experiment_id, scale, seed)`` triple via
-:func:`repro.sim.rng.derive_rng`, workers share no state, and the parent
-writes artifacts in a fixed task order, so ``--jobs 8`` produces the same
-bytes as ``--jobs 1`` and re-running a spec yields byte-identical per-seed
-JSON.
+Sweeps that run against a store are *durable*: every task is tracked in a
+sqlite ledger (:mod:`repro.experiments.ledger`) and executed by the
+crash-tolerant runtime (:mod:`repro.experiments.runtime`) — one worker
+process per attempt, per-task timeouts, bounded retry with backoff, and
+atomic write-then-rename artifact commits.  ``resume=True`` makes an
+interrupted sweep pick up where it stopped: verified-``done`` tasks are
+skipped (reported in :attr:`SweepReport.skipped`), orphaned ``running``
+claims are reclaimed, and ``failed`` tasks get a fresh retry budget.
+Storeless sweeps (``store=None``) keep the original lightweight in-memory
+path over a ``multiprocessing`` pool.
+
+Determinism is preserved under parallelism, retries, and resumption: each
+task re-derives all of its randomness from its own ``(experiment_id,
+scale, seed)`` triple via :func:`repro.sim.rng.derive_rng`, workers share
+no state, and per-seed JSON plus aggregates are byte-identical however —
+and in however many runs — the sweep was executed.
 
 Examples::
 
@@ -22,12 +31,16 @@ Examples::
 
     spec = SweepSpec(("fig9", "tab1"), seeds=parse_seeds("0..3"), scale="smoke")
     report = run_sweep(spec, ResultStore("results"), jobs=2)
+    # ... interrupted?  The second call re-runs only what is missing:
+    report = run_sweep(spec, ResultStore("results"), jobs=2, resume=True)
     for aggregate in report.aggregates:
         print(aggregate.table())
 
 or, from the shell::
 
     mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --format table
+    mpil-experiments sweep fig9 tab1 --seeds 0..3 --jobs 2 --resume
+    mpil-experiments status fig9
 """
 
 from __future__ import annotations
@@ -35,14 +48,35 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import time
-from typing import Callable, Optional, Sequence
+from typing import Callable, Optional
 
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
-from repro.experiments.registry import get_experiment, run_experiment
+from repro.experiments.ledger import TaskKey, file_checksum
+from repro.experiments.registry import get_experiment
+from repro.experiments.runtime import (
+    RuntimeConfig,
+    SkippedTask,
+    TaskFailure,
+    TaskOutcome,
+    drain_ledger,
+    execute_task,
+    plan_tasks,
+)
 from repro.experiments.scales import get_scale
 from repro.experiments.store import ResultStore, aggregate_results
-from repro.sim.engine import events_processed_total, reset_events_processed
+
+__all__ = [
+    "SweepReport",
+    "SweepSpec",
+    "TaskOutcome",
+    "parse_seeds",
+    "run_and_store",
+    "run_sweep",
+]
+
+#: kept for callers that imported the task executor from its old home
+_execute_task = execute_task
 
 
 def parse_seeds(text: str) -> tuple[int, ...]:
@@ -102,7 +136,7 @@ class SweepSpec:
             get_experiment(experiment_id)  # raises on unknown ids
         get_scale(self.scale)  # raises on unknown scales
 
-    def tasks(self) -> list[tuple[str, str, int]]:
+    def tasks(self) -> list[TaskKey]:
         """All (experiment_id, scale, seed) tasks, in deterministic order."""
         return [
             (experiment_id, self.scale, seed)
@@ -111,37 +145,24 @@ class SweepSpec:
         ]
 
 
-@dataclasses.dataclass(frozen=True)
-class TaskOutcome:
-    """One completed (experiment, seed) task, as returned by a worker."""
-
-    experiment_id: str
-    scale: str
-    seed: int
-    payload: dict  #: ExperimentResult.to_dict() output
-    wall_clock: float
-    events_processed: int
-
-    @property
-    def events_per_sec(self) -> float:
-        """Task throughput (0.0 when the clock resolution rounds to zero)."""
-        if self.wall_clock <= 0:
-            return 0.0
-        return self.events_processed / self.wall_clock
-
-    @property
-    def result(self) -> ExperimentResult:
-        return ExperimentResult.from_dict(self.payload)
-
-
 @dataclasses.dataclass
 class SweepReport:
-    """Everything one :func:`run_sweep` call produced."""
+    """Everything one :func:`run_sweep` call produced.
+
+    ``outcomes`` holds the tasks *executed* by this call (completion
+    order); a resumed sweep additionally reports the verified-done tasks
+    it skipped and, when retry budgets ran out, the permanent failures.
+    ``aggregates`` covers executed *and* skipped replicates — one entry
+    per experiment id in spec order, omitting experiments whose every
+    task failed.
+    """
 
     spec: SweepSpec
     outcomes: list[TaskOutcome]
-    aggregates: list[ExperimentResult]  #: one per experiment id, spec order
+    aggregates: list[ExperimentResult]
     wall_clock: float  #: end-to-end sweep time in the parent
+    skipped: list[SkippedTask] = dataclasses.field(default_factory=list)
+    failures: list[TaskFailure] = dataclasses.field(default_factory=list)
 
     def outcome(self, experiment_id: str, seed: int) -> TaskOutcome:
         for outcome in self.outcomes:
@@ -150,30 +171,29 @@ class SweepReport:
         raise ExperimentError(f"no outcome for {experiment_id!r} seed {seed}")
 
 
-def _execute_task(task: tuple[str, str, int]) -> TaskOutcome:
-    """Run one (experiment_id, scale, seed) task; must stay module-level
-    (and therefore picklable) so pool workers can receive it.
+def _run_sweep_in_memory(
+    tasks: list[TaskKey],
+    jobs: int,
+    progress: Optional[Callable[[TaskOutcome], None]],
+) -> list[TaskOutcome]:
+    """The storeless path: no ledger, no durability, results in memory."""
+    outcomes: list[TaskOutcome] = []
 
-    The process-wide event counter is *reset* at task start (in whichever
-    worker process executes the task), so the recorded count is exactly
-    this task's events — pooled workers execute many tasks back to back,
-    and a before/after subtraction would silently fold in any events a
-    library callback or atexit hook ran between tasks.
-    """
-    experiment_id, scale, seed = task
-    reset_events_processed()
-    started = time.perf_counter()
-    result = run_experiment(experiment_id, scale=scale, seed=seed)
-    wall_clock = time.perf_counter() - started
-    payload = result.to_dict()
-    return TaskOutcome(
-        experiment_id=experiment_id,
-        scale=result.scale,
-        seed=seed,
-        payload=payload,
-        wall_clock=wall_clock,
-        events_processed=events_processed_total(),
-    )
+    def consume(outcome: TaskOutcome) -> None:
+        outcomes.append(outcome)
+        if progress is not None:
+            progress(outcome)
+
+    if jobs == 1:
+        for task in tasks:
+            consume(execute_task(task))
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            # imap preserves task order while yielding each result as soon
+            # as its (in-order) predecessor has been consumed.
+            for outcome in pool.imap(execute_task, tasks):
+                consume(outcome)
+    return outcomes
 
 
 def run_sweep(
@@ -181,60 +201,94 @@ def run_sweep(
     store: Optional[ResultStore] = None,
     jobs: int = 1,
     progress: Optional[Callable[[TaskOutcome], None]] = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    task_timeout: Optional[float] = None,
+    retry_backoff: float = 0.1,
 ) -> SweepReport:
     """Execute a sweep, persist replicates, and aggregate each experiment.
 
-    ``jobs=1`` runs inline in this process; ``jobs>1`` fans tasks out to a
-    ``multiprocessing`` pool.  Either way, all writes happen in the parent,
-    in task order, so the store layout and bytes are independent of the
-    worker count.  Each replicate is persisted (and ``progress`` called) as
-    soon as it completes, so an interrupted or partially failed sweep keeps
-    every replicate finished before the failure.
+    With a store, tasks run through the durable ledger runtime: one child
+    process per attempt (``jobs`` at a time), crashed/hung workers retried
+    up to ``max_retries`` times (``task_timeout`` bounds each attempt),
+    artifacts committed atomically, and — with ``resume=True`` —
+    verified-complete tasks skipped instead of recomputed.  Tasks whose
+    retry budget runs out are recorded as ``failed`` in the ledger and
+    reported in :attr:`SweepReport.failures` rather than raised, so one
+    poisoned seed cannot discard an otherwise-complete sweep.
+
+    Without a store there is nothing to resume from (``resume=True`` is
+    rejected): tasks run in this process (``jobs=1``) or a
+    ``multiprocessing`` pool, and exceptions propagate.
     """
-    if jobs < 1:
-        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    config = RuntimeConfig(
+        jobs=jobs,
+        max_retries=max_retries,
+        task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
+    )
     started = time.perf_counter()
     tasks = spec.tasks()
-    outcomes: list[TaskOutcome] = []
+    skipped: list[SkippedTask] = []
+    failures: list[TaskFailure] = []
 
-    def consume(outcome: TaskOutcome) -> None:
-        outcomes.append(outcome)
-        if store is not None:
-            store.save(
+    if store is None:
+        if resume:
+            raise ExperimentError(
+                "resume=True needs a result store to resume from"
+            )
+        outcomes = _run_sweep_in_memory(tasks, jobs, progress)
+    else:
+        ledger = store.ledger
+        to_run, skipped = plan_tasks(
+            ledger, tasks, resume=resume, verify=store.verify_artifact
+        )
+
+        def commit(outcome: TaskOutcome) -> str:
+            path = store.save(
                 outcome.result,
                 seed=outcome.seed,
                 wall_clock=outcome.wall_clock,
                 events_processed=outcome.events_processed,
             )
-        if progress is not None:
-            progress(outcome)
+            return file_checksum(path)
 
-    if jobs == 1:
-        for task in tasks:
-            consume(_execute_task(task))
-    else:
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            # imap preserves task order while yielding each result as soon
-            # as its (in-order) predecessor has been consumed.
-            for outcome in pool.imap(_execute_task, tasks):
-                consume(outcome)
+        outcomes, failures = drain_ledger(
+            to_run, ledger, config, commit, progress=progress
+        )
 
+    # Aggregate executed + skipped replicates, in canonical task order, so
+    # the aggregate bytes never depend on completion order or on how many
+    # runs it took to converge.
+    results_by_task: dict[TaskKey, ExperimentResult] = {
+        outcome.task: outcome.result for outcome in outcomes
+    }
+    for entry in skipped:
+        assert store is not None  # skipped tasks only exist with a store
+        results_by_task[entry.task] = store.load(
+            entry.experiment_id, entry.scale, entry.seed
+        )
     aggregates: list[ExperimentResult] = []
-    by_experiment: dict[str, list[TaskOutcome]] = {}
-    for outcome in outcomes:
-        by_experiment.setdefault(outcome.experiment_id, []).append(outcome)
     for experiment_id in spec.experiment_ids:
-        group = by_experiment[experiment_id]
-        aggregate = aggregate_results([outcome.result for outcome in group])
+        cell = [
+            (task, results_by_task[task])
+            for task in tasks
+            if task[0] == experiment_id and task in results_by_task
+        ]
+        if not cell:
+            continue  # every replicate failed; reported in failures
+        aggregate = aggregate_results([result for _, result in cell])
         aggregates.append(aggregate)
         if store is not None:
-            store.write_aggregate(aggregate, [outcome.seed for outcome in group])
+            store.write_aggregate(aggregate, [task[2] for task, _ in cell])
 
     return SweepReport(
         spec=spec,
         outcomes=outcomes,
         aggregates=aggregates,
         wall_clock=time.perf_counter() - started,
+        skipped=skipped,
+        failures=failures,
     )
 
 
@@ -247,7 +301,7 @@ def run_and_store(
     persisted as ``seed_<n>.json`` with manifest provenance, and the fresh
     result is returned.
     """
-    outcome = _execute_task((experiment_id, scale, seed))
+    outcome = execute_task((experiment_id, scale, seed))
     store.save(
         outcome.result,
         seed=seed,

@@ -1,0 +1,372 @@
+"""Crash-tolerant sweep executor: drain the task ledger with a worker pool.
+
+This is the execution half of the resumable sweep runtime (the persistence
+half is :mod:`repro.experiments.ledger`).  It provides:
+
+- :func:`execute_task` — run one ``(experiment_id, scale, seed)`` task and
+  package the outcome (moved here from ``runner.py`` so the runner can
+  stay a thin orchestration layer);
+- :func:`plan_tasks` — the resume planner: decide, from ledger states and
+  artifact checksums, which tasks still need to run and which verified
+  ``done`` tasks can be skipped;
+- :func:`drain_ledger` — the executor: one child process per task attempt,
+  per-task timeouts, bounded retry with exponential backoff, and checked
+  ledger transitions around every attempt.
+
+Fault model
+-----------
+
+Workers may raise, hang, or die outright (SIGKILL); the parent may itself
+be killed between any two operations.  The design holds up because
+
+- every artifact commit is *atomic* (the store writes to a temp file and
+  ``os.replace``\\ s it into place) and is followed — not preceded — by the
+  ledger's ``running -> done`` transition with the artifact's checksum, so
+  a crash at any point leaves either no artifact, or an uncommitted
+  artifact that the next resume re-verifies and rewrites;
+- all ledger and store writes happen in the parent, so a worker crash can
+  never corrupt shared state — the parent observes it (dead process, or a
+  deadline breach for hung workers, which get SIGTERM-then-SIGKILLed) and
+  either re-queues the task or marks it ``failed`` once the retry budget
+  is exhausted;
+- a parent crash strands ``running`` rows, which the next resume reclaims
+  (``release``) before execution.
+
+Determinism is unaffected: each attempt runs in a fresh child with the
+task's own derived RNG, so retries and worker counts change *when* a
+replicate is computed, never its bytes.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import multiprocessing
+import queue as queue_module
+import time
+from multiprocessing.process import BaseProcess
+from multiprocessing.queues import Queue as ResultQueue
+from typing import Callable, Optional
+
+from repro.errors import ExperimentError
+from repro.experiments.base import ExperimentResult
+from repro.experiments.ledger import TaskKey, TaskLedger
+from repro.experiments.registry import run_experiment
+from repro.sim.engine import events_processed_total, reset_events_processed
+
+#: grace period between observing a dead worker and declaring it crashed,
+#: so a result the child queued just before exiting is not misread as a
+#: crash (the queue feeder flushes on normal interpreter shutdown)
+_DEAD_WORKER_GRACE = 0.25
+
+#: parent-side poll interval while waiting on worker results
+_POLL_INTERVAL = 0.05
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskOutcome:
+    """One completed (experiment, seed) task, as returned by a worker."""
+
+    experiment_id: str
+    scale: str
+    seed: int
+    payload: dict  #: ExperimentResult.to_dict() output
+    wall_clock: float
+    events_processed: int
+
+    @property
+    def events_per_sec(self) -> float:
+        """Task throughput (0.0 when the clock resolution rounds to zero)."""
+        if self.wall_clock <= 0:
+            return 0.0
+        return self.events_processed / self.wall_clock
+
+    @property
+    def result(self) -> ExperimentResult:
+        return ExperimentResult.from_dict(self.payload)
+
+    @property
+    def task(self) -> TaskKey:
+        return (self.experiment_id, self.scale, self.seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class SkippedTask:
+    """A verified-done task a resumed sweep did not re-run."""
+
+    experiment_id: str
+    scale: str
+    seed: int
+    checksum: str
+
+    @property
+    def task(self) -> TaskKey:
+        return (self.experiment_id, self.scale, self.seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskFailure:
+    """A task whose retry budget ran out; its ledger row is ``failed``."""
+
+    experiment_id: str
+    scale: str
+    seed: int
+    attempts: int  #: attempts consumed in this executor run
+    error: str
+
+    @property
+    def task(self) -> TaskKey:
+        return (self.experiment_id, self.scale, self.seed)
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeConfig:
+    """Executor knobs (the CLI's ``--jobs/--max-retries/--task-timeout``)."""
+
+    jobs: int = 1
+    max_retries: int = 2  #: re-attempts after the first try, per executor run
+    task_timeout: Optional[float] = None  #: seconds before a worker is killed
+    retry_backoff: float = 0.1  #: base delay; attempt n waits base * 2^(n-1)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+        if self.max_retries < 0:
+            raise ExperimentError(
+                f"max-retries must be >= 0, got {self.max_retries}"
+            )
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ExperimentError(
+                f"task-timeout must be positive, got {self.task_timeout}"
+            )
+        if self.retry_backoff < 0:
+            raise ExperimentError(
+                f"retry-backoff must be >= 0, got {self.retry_backoff}"
+            )
+
+
+def execute_task(task: TaskKey) -> TaskOutcome:
+    """Run one (experiment_id, scale, seed) task; must stay module-level
+    (and therefore picklable) so worker processes can receive it.
+
+    The process-wide event counter is *reset* at task start (in whichever
+    worker process executes the task), so the recorded count is exactly
+    this task's events — a before/after subtraction would silently fold in
+    any events a library callback or atexit hook ran between tasks.
+    """
+    experiment_id, scale, seed = task
+    reset_events_processed()
+    started = time.perf_counter()
+    result = run_experiment(experiment_id, scale=scale, seed=seed)
+    wall_clock = time.perf_counter() - started
+    payload = result.to_dict()
+    return TaskOutcome(
+        experiment_id=experiment_id,
+        scale=result.scale,
+        seed=seed,
+        payload=payload,
+        wall_clock=wall_clock,
+        events_processed=events_processed_total(),
+    )
+
+
+def plan_tasks(
+    ledger: TaskLedger,
+    tasks: list[TaskKey],
+    resume: bool,
+    verify: Callable[[TaskKey, str], bool],
+) -> tuple[list[TaskKey], list[SkippedTask]]:
+    """Decide which tasks a sweep must execute, updating the ledger.
+
+    Without ``resume`` the sweep is semantically a fresh run: every task is
+    reset to ``pending`` (attempts rewound) and executed.  With ``resume``:
+
+    - ``done`` rows whose artifact passes ``verify(task, checksum)`` are
+      skipped; failed verification (missing/truncated/tampered file)
+      reopens the task;
+    - ``running`` rows are orphans from a crashed or killed run and are
+      reclaimed;
+    - ``failed`` rows are reopened for a fresh retry budget;
+    - ``pending`` rows simply run.
+
+    Returns ``(to_run, skipped)`` with ``to_run`` in the sweep's canonical
+    task order — a resumed sweep executes exactly the non-verified-done
+    set, never a verified-done task.
+    """
+    ledger.ensure(tasks)
+    if not resume:
+        ledger.reset_all(tasks)
+        return list(tasks), []
+    to_run: list[TaskKey] = []
+    skipped: list[SkippedTask] = []
+    for task in tasks:
+        row = ledger.row(task)
+        assert row is not None  # ensure() above inserted it
+        if row.state == "done":
+            if row.checksum is not None and verify(task, row.checksum):
+                skipped.append(SkippedTask(*task, checksum=row.checksum))
+                continue
+            ledger.reopen_done(task, "artifact missing or failed checksum")
+            to_run.append(task)
+        elif row.state == "running":
+            ledger.release(task, "orphaned claim reclaimed on resume")
+            to_run.append(task)
+        elif row.state == "failed":
+            ledger.reset_failed(task)
+            to_run.append(task)
+        else:
+            to_run.append(task)
+    return to_run, skipped
+
+
+def _worker_main(task: TaskKey, results: "ResultQueue") -> None:
+    """Child-process entry: execute one task, report through the queue.
+
+    Exceptions are reported as ``("error", ...)`` rather than raised, so
+    the parent can distinguish an experiment bug (retryable, eventually
+    ``failed``) from a dead worker.  A SIGKILLed child reports nothing —
+    the parent notices the corpse instead.
+    """
+    try:
+        outcome = execute_task(task)
+    except Exception as exc:  # noqa: BLE001 - reported to the parent verbatim
+        results.put(("error", task, f"{type(exc).__name__}: {exc}"))
+    else:
+        results.put(("ok", task, dataclasses.asdict(outcome)))
+
+
+@dataclasses.dataclass
+class _Attempt:
+    """Parent-side bookkeeping for one in-flight worker process."""
+
+    process: BaseProcess
+    started: float  #: monotonic launch time
+    dead_since: Optional[float] = None  #: first time the corpse was seen
+
+
+def drain_ledger(
+    tasks: list[TaskKey],
+    ledger: TaskLedger,
+    config: RuntimeConfig,
+    commit: Callable[[TaskOutcome], str],
+    progress: Optional[Callable[[TaskOutcome], None]] = None,
+) -> tuple[list[TaskOutcome], list[TaskFailure]]:
+    """Execute ``tasks`` through a crash-tolerant worker pool.
+
+    Each attempt is one child process (claimed in the ledger before it can
+    produce output).  ``commit(outcome)`` runs in the parent and must
+    atomically persist the artifact, returning its checksum — only then is
+    the task marked ``done``.  Crashed or hung workers are retried up to
+    ``config.max_retries`` times with exponential backoff, then marked
+    ``failed``.  Returns completion-ordered outcomes plus permanent
+    failures; with ``jobs=1`` tasks launch strictly in the given order.
+    """
+    ctx = multiprocessing.get_context()
+    results: "ResultQueue" = ctx.Queue()
+    pending: "collections.deque[TaskKey]" = collections.deque(tasks)
+    not_before: dict[TaskKey, float] = {}
+    attempts_used: dict[TaskKey, int] = {}
+    running: dict[TaskKey, _Attempt] = {}
+    outcomes: list[TaskOutcome] = []
+    failures: list[TaskFailure] = []
+
+    def retry_or_fail(task: TaskKey, error: str) -> None:
+        """After a raised/crashed/hung attempt: re-queue or mark failed."""
+        used = attempts_used[task]
+        if used > config.max_retries:
+            ledger.fail(task, error)
+            failures.append(TaskFailure(*task, attempts=used, error=error))
+        else:
+            ledger.release(task, error)
+            not_before[task] = (
+                time.monotonic() + config.retry_backoff * 2 ** (used - 1)
+            )
+            pending.append(task)
+
+    def reap(task: TaskKey, attempt: _Attempt, error: str) -> None:
+        """Retire a dead or killed worker and route its task."""
+        attempt.process.join()
+        attempt.process.close()
+        del running[task]
+        retry_or_fail(task, error)
+
+    while pending or running:
+        now = time.monotonic()
+        # -- launch: fill free slots with eligible tasks, in queue order
+        launched = True
+        while launched and pending and len(running) < config.jobs:
+            launched = False
+            for _ in range(len(pending)):
+                task = pending.popleft()
+                if not_before.get(task, 0.0) > now:
+                    pending.append(task)  # still backing off; rotate past it
+                    continue
+                process = ctx.Process(
+                    target=_worker_main, args=(task, results), daemon=True
+                )
+                process.start()
+                ledger.claim(task, worker=f"pid:{process.pid}")
+                attempts_used[task] = attempts_used.get(task, 0) + 1
+                running[task] = _Attempt(process=process, started=now)
+                launched = True
+                break
+
+        # -- collect: block briefly for results, then drain without blocking
+        block = bool(running)
+        while True:
+            try:
+                kind, task, body = results.get(
+                    timeout=_POLL_INTERVAL if block else 0
+                )
+            except queue_module.Empty:
+                break
+            block = False
+            attempt = running.pop(task, None)
+            if attempt is None:
+                continue  # late message from a worker already killed/reaped
+            attempt.process.join()
+            attempt.process.close()
+            if kind == "ok":
+                outcome = TaskOutcome(**body)
+                checksum = commit(outcome)
+                ledger.complete(task, checksum)
+                outcomes.append(outcome)
+                if progress is not None:
+                    progress(outcome)
+            else:
+                retry_or_fail(task, body)
+
+        # -- reap: enforce timeouts, notice corpses (after a short grace so
+        #    an already-queued result is not misread as a crash)
+        now = time.monotonic()
+        for task, attempt in list(running.items()):
+            if (
+                config.task_timeout is not None
+                and now - attempt.started > config.task_timeout
+            ):
+                attempt.process.terminate()
+                attempt.process.join(0.5)
+                if attempt.process.is_alive():
+                    attempt.process.kill()
+                reap(
+                    task,
+                    attempt,
+                    f"timed out after {config.task_timeout:g}s (worker killed)",
+                )
+            elif not attempt.process.is_alive():
+                if attempt.dead_since is None:
+                    attempt.dead_since = now
+                elif now - attempt.dead_since > _DEAD_WORKER_GRACE:
+                    code = attempt.process.exitcode
+                    reap(task, attempt, f"worker died (exit code {code})")
+
+        # -- idle: everything is backing off; sleep until the first is due
+        if not running and pending:
+            wake = min(not_before.get(task, 0.0) for task in pending)
+            delay = wake - time.monotonic()
+            if delay > 0:
+                time.sleep(min(delay, 1.0))
+
+    results.close()
+    results.join_thread()
+    return outcomes, failures

@@ -16,6 +16,16 @@ All volatile provenance (git revision, timestamps, wall-clock seconds,
 :func:`repro.sim.engine.events_processed_total` deltas) lives in
 ``manifest.json`` instead.
 
+Every artifact (seed JSON, manifest, aggregates) is committed atomically:
+the bytes go to a temp file in the same directory and are renamed into
+place with ``os.replace``, so a crash — even SIGKILL — mid-write can never
+leave a truncated ``seed_<n>.json`` behind.  Alongside the JSON tree the
+store keeps a sqlite database (``<root>/ledger.sqlite``, shared with the
+sweep task ledger — see :mod:`repro.experiments.ledger`) holding a
+queryable index of every saved replicate, so :meth:`ResultStore.query`
+answers "which seeds of which cells exist, with what checksums and run
+stats" without re-reading thousands of files.
+
 :func:`aggregate_results` merges replicate rows into a new table where
 every column that varies across seeds is replaced by ``_mean`` / ``_stdev``
 / ``_ci95`` columns, ready to compare against the paper's Monte-Carlo
@@ -38,14 +48,22 @@ from __future__ import annotations
 import csv
 import dataclasses
 import datetime
+import hashlib
 import io
 import json
+import os
 import pathlib
 import subprocess
-from typing import Optional, Sequence, Union
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult, ci95, mean, stdev
+from repro.experiments.ledger import (
+    ResultRecord,
+    TaskKey,
+    TaskLedger,
+    file_checksum,
+)
 
 #: statistic columns appended, in order, for every varying numeric column
 STAT_SUFFIXES = ("_mean", "_stdev", "_ci95")
@@ -80,6 +98,19 @@ class RunRecord:
     written_at: str  #: ISO-8601 UTC timestamp of the save
 
 
+def _atomic_write_text(path: pathlib.Path, text: str) -> None:
+    """Commit ``text`` to ``path`` via write-then-rename.
+
+    The temp file lives in the target directory so ``os.replace`` is a
+    same-filesystem rename — atomic on POSIX.  A crash before the rename
+    leaves at worst a stale ``*.tmp`` file; the destination is only ever
+    absent or complete, never truncated.
+    """
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_text(text)
+    os.replace(temp, path)
+
+
 class ResultStore:
     """Persist and reload experiment results under a root directory.
 
@@ -91,6 +122,7 @@ class ResultStore:
     def __init__(self, root: Union[str, pathlib.Path]):
         self.root = pathlib.Path(root)
         self._git_rev: Optional[str] = None
+        self._ledger: Optional[TaskLedger] = None
 
     @property
     def git_rev(self) -> str:
@@ -99,6 +131,18 @@ class ResultStore:
         if self._git_rev is None:
             self._git_rev = git_revision()
         return self._git_rev
+
+    @property
+    def ledger_path(self) -> pathlib.Path:
+        """The store's sqlite database (task ledger + results index)."""
+        return self.root / "ledger.sqlite"
+
+    @property
+    def ledger(self) -> TaskLedger:
+        """The store's task ledger, opened (and created) on first access."""
+        if self._ledger is None:
+            self._ledger = TaskLedger(self.ledger_path)
+        return self._ledger
 
     # ------------------------------------------------------------------ paths
 
@@ -123,16 +167,22 @@ class ResultStore:
         wall_clock: float = 0.0,
         events_processed: int = 0,
     ) -> pathlib.Path:
-        """Persist one replicate and record its provenance in the manifest.
+        """Persist one replicate and record its provenance in the manifest
+        and the queryable sqlite index.
 
         The JSON artifact is deterministic (sorted keys, fixed indent, no
-        timestamps); wall-clock and event counts go only to the manifest.
+        timestamps) and committed atomically (write-then-rename), so an
+        interrupted save leaves either the old artifact or the new one,
+        never a truncated file; wall-clock and event counts go only to the
+        manifest and the index.
         """
         payload = result.to_dict()
         payload["seed"] = seed
+        text = json.dumps(payload, sort_keys=True, indent=2) + "\n"
         path = self.seed_path(result.experiment_id, result.scale, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        _atomic_write_text(path, text)
+        written_at = datetime.datetime.now(datetime.timezone.utc).isoformat()
         self._record_run(
             result.experiment_id,
             result.scale,
@@ -144,8 +194,21 @@ class ResultStore:
                     round(events_processed / wall_clock, 3) if wall_clock > 0 else 0.0
                 ),
                 rows=len(result.rows),
-                written_at=datetime.datetime.now(datetime.timezone.utc).isoformat(),
+                written_at=written_at,
             ),
+        )
+        self.ledger.record_result(
+            ResultRecord(
+                experiment_id=result.experiment_id,
+                scale=result.scale,
+                seed=seed,
+                path=str(path.relative_to(self.root)),
+                checksum="sha256:" + hashlib.sha256(text.encode()).hexdigest(),
+                rows=len(result.rows),
+                wall_clock=round(wall_clock, 6),
+                events_processed=events_processed,
+                written_at=written_at,
+            )
         )
         return path
 
@@ -161,7 +224,9 @@ class ResultStore:
         manifest["git_rev"] = self.git_rev
         manifest["updated_at"] = record.written_at
         manifest["runs"][f"seed_{record.seed}"] = dataclasses.asdict(record)
-        manifest_path.write_text(json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+        _atomic_write_text(
+            manifest_path, json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+        )
 
     def write_aggregate(
         self, aggregate: ExperimentResult, seeds: Sequence[int]
@@ -172,9 +237,11 @@ class ResultStore:
         payload = aggregate.to_dict()
         payload["seeds"] = sorted(seeds)
         json_path = directory / "aggregate.json"
-        json_path.write_text(json.dumps(payload, sort_keys=True, indent=2) + "\n")
+        _atomic_write_text(
+            json_path, json.dumps(payload, sort_keys=True, indent=2) + "\n"
+        )
         csv_path = directory / "aggregate.csv"
-        csv_path.write_text(result_to_csv(aggregate))
+        _atomic_write_text(csv_path, result_to_csv(aggregate))
         return json_path, csv_path
 
     # ------------------------------------------------------------------- read
@@ -212,6 +279,36 @@ class ResultStore:
             self.load(experiment_id, scale, seed)
             for seed in self.seeds(experiment_id, scale)
         ]
+
+    def verify_artifact(self, task: TaskKey, checksum: str) -> bool:
+        """True iff the task's artifact exists and hashes to ``checksum``.
+
+        This is the resume planner's gate: a ``done`` ledger row only
+        counts if the bytes on disk still match what was committed —
+        truncated, deleted, or hand-edited artifacts force a re-run.
+        """
+        experiment_id, scale, seed = task
+        path = self.seed_path(experiment_id, scale, seed)
+        if not path.exists():
+            return False
+        return file_checksum(path) == checksum
+
+    def query(
+        self,
+        experiment_id: Optional[str] = None,
+        scale: Optional[str] = None,
+        seeds: Optional[Iterable[int]] = None,
+    ) -> list[ResultRecord]:
+        """Indexed metadata for saved replicates, without touching JSON.
+
+        Backed by the store's sqlite index (filled on every
+        :meth:`save`), so a 10^4-task sweep can answer "which replicates
+        exist, with what run stats" in one query instead of ~10^4 file
+        reads.  Returns rows ordered by (experiment, scale, seed).
+        """
+        return self.ledger.query_results(
+            experiment_id=experiment_id, scale=scale, seeds=seeds
+        )
 
 
 def _is_number(value: object) -> bool:

@@ -391,3 +391,273 @@ class TestErrorPaths:
         self._assert_one_line_error(
             capsys, ["run", "ext-outage", "--scale", "smoke"], "domain structure"
         )
+
+
+class TestStatusAndResume:
+    """The resumable-sweep surface: `status`, `sweep --resume`, and the
+    jobs-N-resume vs jobs-1 parity regression."""
+
+    def _artifact_bytes(self, root):
+        return {
+            str(path.relative_to(root)): path.read_bytes()
+            for path in sorted(root.rglob("*.json")) + sorted(root.rglob("*.csv"))
+            if path.name != "manifest.json"
+        }
+
+    def test_parser_resume_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "fig9",
+                "--resume",
+                "--max-retries",
+                "5",
+                "--task-timeout",
+                "30",
+            ]
+        )
+        assert args.resume is True
+        assert args.max_retries == 5
+        assert args.task_timeout == 30.0
+        defaults = build_parser().parse_args(["sweep", "fig9"])
+        assert defaults.resume is False
+        assert defaults.max_retries == 2
+        assert defaults.task_timeout is None
+
+    def test_parser_status_defaults(self):
+        args = build_parser().parse_args(["status", "fig9"])
+        assert args.command == "status"
+        assert args.experiment == "fig9"
+        assert args.scale is None
+        assert str(args.out) == "results"
+
+    def test_status_renders_ledger_table(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0..1",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["status", "fig7", "--out", str(tmp_path)]) == 0
+        output = capsys.readouterr().out
+        assert "fig7/smoke: 0 pending, 0 running, 2 done, 0 failed" in output
+        assert "(2 tasks, 2 attempts)" in output
+        assert "seed 0" in output and "seed 1" in output
+        assert output.count("sha256:") == 2
+
+    def test_status_scale_filter_without_entries(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(
+            ["status", "fig7", "--scale", "paper", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "no ledger entries" in capsys.readouterr().err
+
+    def test_status_without_ledger(self, tmp_path, capsys):
+        code = main(["status", "fig7", "--out", str(tmp_path / "absent")])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "no sweep ledger" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_status_unknown_experiment(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["status", "fig99", "--out", str(tmp_path)])
+        assert code == 2
+        error_lines = capsys.readouterr().err.strip().splitlines()
+        assert len(error_lines) == 1
+        assert "fig99" in error_lines[0]
+
+    def test_status_locked_ledger(self, tmp_path, capsys, monkeypatch):
+        import sqlite3
+
+        from repro.experiments import ledger as ledger_module
+        from repro.experiments import store as store_module
+
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0",
+                    "--scale",
+                    "smoke",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        monkeypatch.setattr(
+            store_module,
+            "TaskLedger",
+            lambda path: ledger_module.TaskLedger(path, timeout=0.1),
+        )
+        blocker = sqlite3.connect(tmp_path / "ledger.sqlite")
+        blocker.execute("BEGIN EXCLUSIVE")
+        try:
+            code = main(["status", "fig7", "--out", str(tmp_path)])
+        finally:
+            blocker.rollback()
+            blocker.close()
+        assert code == 2
+        captured = capsys.readouterr()
+        error_lines = captured.err.strip().splitlines()
+        assert len(error_lines) == 1
+        assert "locked" in error_lines[0] or "ledger" in error_lines[0]
+        assert "Traceback" not in captured.err
+
+    def test_sweep_resume_skips_verified_tasks(self, tmp_path, capsys):
+        base = [
+            "sweep",
+            "fig7",
+            "--scale",
+            "smoke",
+            "--out",
+            str(tmp_path),
+        ]
+        assert main(base + ["--seeds", "0..1"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--seeds", "0..2", "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "[fig7 seed=0] skipped" in captured.err
+        assert "[fig7 seed=1] skipped" in captured.err
+        assert "swept 1 tasks, skipped 2, failed 0" in captured.err
+
+    def test_sweep_failure_exit_code(self, tmp_path, capsys):
+        from repro.experiments.registry import register, unregister
+        from repro.experiments.spec import ExperimentSpec, Pipeline
+
+        def measure(ctx, built, cell):
+            raise RuntimeError("always broken")
+
+        register(
+            ExperimentSpec(
+                experiment_id="cli-always-fails",
+                title="cli failure stub",
+                pipeline=Pipeline(columns=("seed",), measure=measure),
+            )
+        )
+        try:
+            code = main(
+                [
+                    "sweep",
+                    "cli-always-fails",
+                    "--seeds",
+                    "0",
+                    "--scale",
+                    "smoke",
+                    "--max-retries",
+                    "0",
+                    "--out",
+                    str(tmp_path),
+                ]
+            )
+        finally:
+            unregister("cli-always-fails")
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED after 1 attempts" in captured.err
+        assert "RuntimeError" in captured.err
+
+    def test_jobs_n_resume_parity_with_jobs_1(self, tmp_path, capsys):
+        """Regression: a sweep interrupted and resumed with --jobs 2 must
+        produce the same bytes as one uninterrupted --jobs 1 run."""
+        reference, resumed = tmp_path / "reference", tmp_path / "resumed"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0..2",
+                    "--scale",
+                    "smoke",
+                    "--jobs",
+                    "1",
+                    "--out",
+                    str(reference),
+                ]
+            )
+            == 0
+        )
+        # a partial run (two of three seeds), then a parallel resume
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0..1",
+                    "--scale",
+                    "smoke",
+                    "--jobs",
+                    "2",
+                    "--out",
+                    str(resumed),
+                ]
+            )
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "fig7",
+                    "--seeds",
+                    "0..2",
+                    "--scale",
+                    "smoke",
+                    "--jobs",
+                    "2",
+                    "--resume",
+                    "--out",
+                    str(resumed),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert self._artifact_bytes(reference) == self._artifact_bytes(resumed)

@@ -95,3 +95,29 @@ def test_module_docstrings_present():
     ]:
         module = importlib.import_module(module_name)
         assert module.__doc__ and len(module.__doc__.strip()) > 40, module_name
+
+
+def test_api_sweep_resume_and_status(tmp_path):
+    """The facade exposes the resumable-sweep surface end to end."""
+    from repro import api
+
+    report = api.sweep("fig7", seeds="0..1", scale="smoke", jobs=1,
+                       store=tmp_path)
+    assert len(report.outcomes) == 2
+
+    resumed = api.sweep("fig7", seeds="0..2", scale="smoke", jobs=1,
+                        store=tmp_path, resume=True)
+    assert [outcome.seed for outcome in resumed.outcomes] == [2]
+    assert sorted(entry.seed for entry in resumed.skipped) == [0, 1]
+
+    rows = api.sweep_status(tmp_path, experiment="fig7")
+    assert [(row.seed, row.state) for row in rows] == [
+        (0, "done"), (1, "done"), (2, "done"),
+    ]
+    assert api.sweep_status(tmp_path, experiment="fig7", scale="paper") == []
+
+    # the queryable store index answers without reading JSON artifacts
+    from repro.experiments.store import ResultStore
+
+    records = ResultStore(tmp_path).query("fig7", "smoke")
+    assert [record.seed for record in records] == [0, 1, 2]

@@ -156,6 +156,77 @@ class TestRunSweep:
         assert len(report.aggregates) == 1
 
 
+class TestResume:
+    SPEC = SweepSpec(("fig7",), seeds=(0, 1), scale="smoke")
+
+    def test_resume_requires_store(self):
+        with pytest.raises(ExperimentError, match="resume"):
+            run_sweep(self.SPEC, store=None, resume=True)
+
+    def test_resume_skips_done_without_rewriting_files(self, tmp_path):
+        """The restart-from-zero bug: a resumed re-run must not recompute
+        or rewrite verified-complete replicates."""
+        store = ResultStore(tmp_path)
+        run_sweep(self.SPEC, store, jobs=1)
+        mtimes = {
+            seed: store.seed_path("fig7", "smoke", seed).stat().st_mtime_ns
+            for seed in (0, 1)
+        }
+        report = run_sweep(self.SPEC, store, jobs=1, resume=True)
+        assert report.outcomes == []
+        assert sorted(entry.seed for entry in report.skipped) == [0, 1]
+        assert all(entry.checksum.startswith("sha256:") for entry in report.skipped)
+        for seed in (0, 1):
+            assert (
+                store.seed_path("fig7", "smoke", seed).stat().st_mtime_ns
+                == mtimes[seed]
+            )
+        # aggregates still cover the full (skipped) seed set
+        assert len(report.aggregates) == 1
+        assert "2 replicates" in report.aggregates[0].notes
+
+    def test_resume_runs_only_missing_seeds(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(self.SPEC, store, jobs=1)
+        wider = SweepSpec(("fig7",), seeds=(0, 1, 2, 3), scale="smoke")
+        report = run_sweep(wider, store, jobs=1, resume=True)
+        assert sorted(o.seed for o in report.outcomes) == [2, 3]
+        assert sorted(entry.seed for entry in report.skipped) == [0, 1]
+        assert store.seeds("fig7", "smoke") == [0, 1, 2, 3]
+
+    def test_non_resume_rerun_recomputes(self, tmp_path):
+        """Without --resume a sweep is a fresh run: everything re-executes
+        (byte-identically) and the ledger attempts rewind to the new run."""
+        store = ResultStore(tmp_path)
+        run_sweep(self.SPEC, store, jobs=1)
+        report = run_sweep(self.SPEC, store, jobs=1)
+        assert sorted(o.seed for o in report.outcomes) == [0, 1]
+        assert report.skipped == []
+        rows = store.ledger.rows(experiment_id="fig7")
+        assert [row.attempts for row in rows] == [1, 1]
+
+    def test_bad_runtime_params_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ExperimentError, match="max-retries"):
+            run_sweep(self.SPEC, store, max_retries=-1)
+        with pytest.raises(ExperimentError, match="task-timeout"):
+            run_sweep(self.SPEC, store, task_timeout=0.0)
+        with pytest.raises(ExperimentError, match="retry-backoff"):
+            run_sweep(self.SPEC, store, retry_backoff=-0.5)
+
+    def test_sweep_records_ledger_states(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_sweep(self.SPEC, store, jobs=2)
+        rows = store.ledger.rows(experiment_id="fig7", scale="smoke")
+        assert [(row.seed, row.state, row.attempts) for row in rows] == [
+            (0, "done", 1),
+            (1, "done", 1),
+        ]
+        assert all(
+            row.checksum is not None and row.worker is not None for row in rows
+        )
+
+
 class TestRunAndStore:
     def test_persists_and_returns_result(self, tmp_path):
         store = ResultStore(tmp_path)
