@@ -40,6 +40,7 @@ from __future__ import annotations
 import pathlib
 from typing import Iterable, Mapping, Optional, Union
 
+from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.compose import compose_spec, load_spec_file
 from repro.experiments.ledger import TaskRow
@@ -51,7 +52,7 @@ from repro.experiments.registry import (
     unregister,
 )
 from repro.experiments.runner import SweepReport, SweepSpec, parse_seeds, run_sweep
-from repro.experiments.scales import Scale
+from repro.experiments.scales import Scale, with_service_overrides
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore
 
@@ -64,6 +65,7 @@ __all__ = [
     "list_experiments",
     "register",
     "run",
+    "serve",
     "sweep",
     "sweep_status",
     "unregister",
@@ -89,6 +91,42 @@ def run(
     if isinstance(experiment, ExperimentSpec):
         return experiment.run(scale=scale, seed=seed)
     return run_experiment(experiment, scale=scale, seed=seed)
+
+
+def serve(
+    experiment: str = "svc-steady",
+    scale: Union[str, Scale] = "default",
+    seed: int = 0,
+    rate: Optional[float] = None,
+    duration: Optional[float] = None,
+    window: Optional[float] = None,
+) -> ExperimentResult:
+    """Run a sustained-traffic service experiment, like the CLI ``serve``.
+
+    Service experiments (ids ``svc-*``, tag ``service``) replay an
+    open-loop arrival stream against a perturbed overlay and report
+    per-window p50/p95/p99 discovery latency, throughput, in-flight
+    depth, and SLO verdicts (see :mod:`repro.service`).  ``rate``,
+    ``duration``, and ``window`` override the scale preset's traffic
+    knobs; ``None`` keeps the preset's value.
+
+    >>> from repro import api
+    >>> result = api.serve("svc-steady", scale="smoke", rate=0.2)
+    >>> "latency_p99" in result.columns
+    True
+    """
+    spec = get_spec(experiment) if isinstance(experiment, str) else experiment
+    if "service" not in spec.tags:
+        raise ExperimentError(
+            f"{spec.experiment_id!r} is not a service-mode experiment; "
+            f"pick one tagged 'service' (api.list_experiments(('service',)))"
+        )
+    return spec.run(
+        scale=with_service_overrides(
+            scale, rate=rate, duration=duration, window=window
+        ),
+        seed=seed,
+    )
 
 
 def sweep(

@@ -127,6 +127,19 @@ class MPILNetwork:
 
     # -- public API ---------------------------------------------------------
 
+    @property
+    def request_counter(self) -> int:
+        """Monotonic request id; each request's RNG stream derives from it.
+
+        Callers that replay workloads on a shared network (the service
+        drivers) snapshot and restore this so repeats see identical noise.
+        """
+        return self._next_request_id
+
+    @request_counter.setter
+    def request_counter(self, value: int) -> None:
+        self._next_request_id = int(value)
+
     def random_object_id(self, rng) -> Identifier:
         """Draw a fresh object identifier from the network's id space."""
         return self.space.random_identifier(rng)

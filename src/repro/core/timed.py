@@ -18,7 +18,7 @@ logic for inserts and adds a timed ``lookup_at``.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.config import MPILConfig
 from repro.core.identifiers import Identifier, IdSpace
@@ -52,6 +52,61 @@ class TimedLookupResult:
         if self.first_reply_time is None:
             return None
         return self.first_reply_time - self.start_time
+
+
+class PendingLookup:
+    """One in-flight timed lookup on a (possibly shared) scheduler.
+
+    :meth:`TimedMPILNetwork.start_lookup` returns the handle immediately;
+    the request's message events then run whenever the caller's scheduler
+    executes them, interleaved with any other in-flight requests — the
+    open-loop service drivers keep hundreds of these live at once.  The
+    request is *complete* once every message copy it spawned has been
+    delivered, lost, or suppressed (``outstanding`` reaches zero), at which
+    point ``done`` flips and the optional completion callback fires.
+    """
+
+    __slots__ = (
+        "object_id",
+        "origin",
+        "start_time",
+        "counters",
+        "replies",
+        "first_reply_time",
+        "first_reply_hop",
+        "outstanding",
+        "done",
+    )
+
+    def __init__(self, object_id: Identifier, origin: int, start_time: float):
+        self.object_id = object_id
+        self.origin = origin
+        self.start_time = start_time
+        self.counters = TrafficCounters()
+        self.replies: list[tuple[int, int]] = []
+        self.first_reply_time: Optional[float] = None
+        self.first_reply_hop: Optional[int] = None
+        #: message/reply events posted but not yet executed
+        self.outstanding = 0
+        self.done = False
+
+    @property
+    def success(self) -> bool:
+        return bool(self.replies)
+
+    def result(self) -> TimedLookupResult:
+        """Snapshot the request as an immutable result (valid any time; the
+        drivers call it after completion or a deadline cut-off)."""
+        return TimedLookupResult(
+            object_id=self.object_id,
+            origin=self.origin,
+            start_time=self.start_time,
+            success=bool(self.replies),
+            first_reply_time=self.first_reply_time,
+            first_reply_hop=self.first_reply_hop,
+            replies=tuple(self.replies),
+            counters=self.counters,
+        )
 
 
 class TimedMPILNetwork:
@@ -90,6 +145,19 @@ class TimedMPILNetwork:
         self.seed = seed
         self._request_counter = 0
 
+    @property
+    def request_counter(self) -> int:
+        """Monotonic request id; each lookup's RNG stream derives from it.
+
+        Service drivers snapshot and restore this around a run so a
+        testbed shared across runs replays identical per-request noise.
+        """
+        return self._request_counter
+
+    @request_counter.setter
+    def request_counter(self, value: int) -> None:
+        self._request_counter = int(value)
+
     # Convenience passthroughs ------------------------------------------------
 
     @property
@@ -114,6 +182,149 @@ class TimedMPILNetwork:
 
     # Timed lookup -------------------------------------------------------------
 
+    def start_lookup(
+        self,
+        engine: EventScheduler,
+        origin: int,
+        object_id: Identifier,
+        start_time: Optional[float] = None,
+        max_flows: Optional[int] = None,
+        per_flow_replicas: Optional[int] = None,
+        duplicate_suppression: Optional[bool] = None,
+        on_complete: Optional[Callable[["PendingLookup"], None]] = None,
+    ) -> PendingLookup:
+        """Launch a lookup on a caller-owned scheduler and return its handle.
+
+        This is the open-loop entry point: many lookups started on one
+        shared ``engine`` stay in flight simultaneously, their message
+        events interleaving in timestamp order — the service drivers issue
+        arrivals this way while a perturbation timeline runs concurrently.
+        ``start_time`` defaults to ``engine.now`` and must not precede it;
+        the first message fires when the scheduler reaches that time.
+        ``on_complete(pending)`` is invoked (inside the scheduler run) once
+        every message copy has been delivered, lost, or suppressed.
+        """
+        n = self.overlay.n
+        if not 0 <= origin < n:
+            raise RoutingError(f"origin {origin} out of range (n={n})")
+        cfg = self.config
+        suppress = (
+            cfg.duplicate_suppression
+            if duplicate_suppression is None
+            else duplicate_suppression
+        )
+        flows = max_flows if max_flows is not None else cfg.max_flows
+        replicas = (
+            per_flow_replicas if per_flow_replicas is not None else cfg.per_flow_replicas
+        )
+        launch_time = engine.now if start_time is None else float(start_time)
+        request_id = self._request_counter
+        self._request_counter += 1
+        rng = derive_rng(self.seed, "timed-request", request_id)
+        pending = PendingLookup(object_id, origin, launch_time)
+        counters = pending.counters
+        processed: set[int] = set()
+        received: set[int] = set()
+        metric_table = self.static.metric_table
+        directory = self.static.directory
+        max_hops = cfg.max_hops if cfg.max_hops is not None else 4 * len(
+            self.ids[0].digits
+        )
+
+        def finish_event() -> None:
+            """Retire one executed message/reply event; the request is
+            complete when none remain outstanding."""
+            pending.outstanding -= 1
+            if pending.outstanding == 0 and not pending.done:
+                pending.done = True
+                if on_complete is not None:
+                    on_complete(pending)
+
+        def deliver_reply(holder: int, hop: int) -> None:
+            arrival = engine.now + self.latency.latency(holder, origin)
+            counters.replies_sent += 1
+            pending.outstanding += 1
+            engine.post(arrival, on_reply, holder, hop)
+
+        def on_reply(holder: int, hop: int) -> None:
+            counters.replies_received += 1
+            pending.replies.append((holder, hop))
+            if pending.first_reply_time is None:
+                pending.first_reply_time = engine.now
+                pending.first_reply_hop = hop
+            finish_event()
+
+        def send(msg: MPILMessage, sender: int) -> None:
+            counters.messages_sent += 1
+            arrival = engine.now + self.latency.latency(sender, msg.at)
+            pending.outstanding += 1
+            engine.post(arrival, process, msg)
+
+        def process(msg: MPILMessage) -> None:
+            try:
+                node = msg.at
+                if not self.availability.is_online(node, engine.now):
+                    counters.lost_offline += 1
+                    return
+                if node in received:
+                    counters.duplicates += 1
+                    if suppress:
+                        return
+                received.add(node)
+                if suppress and node in processed:
+                    return
+                processed.add(node)
+
+                if directory.has(node, object_id):
+                    deliver_reply(node, msg.hop)
+                    return
+                if msg.hop >= max_hops:
+                    counters.drops_hop_limit += 1
+                    return
+
+                scores = metric_table.scores_with_self(node, object_id)
+                excluded = set(msg.route)
+                excluded.add(node)
+                decision = decide_forwarding(
+                    self_score=scores[0],
+                    neighbor_ids=metric_table.neighbor_list(node),
+                    neighbor_scores=scores[1:],
+                    excluded=excluded,
+                    max_flows=msg.max_flows,
+                    given_flows=msg.given_flows,
+                    rng=rng,
+                    tie_break=cfg.tie_break,
+                    local_max_rule=cfg.local_max_rule,
+                )
+                replicas_left = msg.replicas_left
+                if decision.is_local_max:
+                    replicas_left -= 1
+                    if replicas_left <= 0:
+                        return
+                for next_node, budget in zip(decision.next_hops, decision.budgets):
+                    child = msg.child(next_node, budget)
+                    child.replicas_left = replicas_left
+                    send(child, node)
+            finally:
+                finish_event()
+
+        initial = MPILMessage(
+            kind=KIND_LOOKUP,
+            request_id=request_id,
+            object_id=object_id,
+            origin=origin,
+            owner=origin,
+            at=origin,
+            route=(),
+            max_flows=flows,
+            replicas_left=replicas,
+            hop=0,
+            given_flows=0,
+        )
+        pending.outstanding += 1
+        engine.post(launch_time, process, initial)
+        return pending
+
     def lookup_at(
         self,
         origin: int,
@@ -133,125 +344,19 @@ class TimedMPILNetwork:
         single always-querying node).  ``duplicate_suppression`` overrides
         the network config for this call — the Figure 11 experiment runs
         "MPIL with DS" and "MPIL without DS" against one shared insert
-        stage.
+        stage.  This is the run-to-completion wrapper over
+        :meth:`start_lookup`, which the open-loop service drivers use
+        directly to keep many lookups in flight on one shared scheduler.
         """
-        n = self.overlay.n
-        if not 0 <= origin < n:
-            raise RoutingError(f"origin {origin} out of range (n={n})")
-        cfg = self.config
-        suppress = (
-            cfg.duplicate_suppression
-            if duplicate_suppression is None
-            else duplicate_suppression
-        )
-        flows = max_flows if max_flows is not None else cfg.max_flows
-        replicas = (
-            per_flow_replicas if per_flow_replicas is not None else cfg.per_flow_replicas
-        )
-        request_id = self._request_counter
-        self._request_counter += 1
-        rng = derive_rng(self.seed, "timed-request", request_id)
         engine = EventScheduler(start_time=start_time)
-        counters = TrafficCounters()
-        processed: set[int] = set()
-        received: set[int] = set()
-        replies: list[tuple[int, int]] = []
-        state = {
-            "first_reply_time": None,
-            "first_reply_hop": None,
-        }
-        metric_table = self.static.metric_table
-        directory = self.static.directory
-        max_hops = cfg.max_hops if cfg.max_hops is not None else 4 * len(
-            self.ids[0].digits
-        )
-
-        def deliver_reply(holder: int, hop: int) -> None:
-            arrival = engine.now + self.latency.latency(holder, origin)
-            counters.replies_sent += 1
-
-            def on_reply() -> None:
-                counters.replies_received += 1
-                replies.append((holder, hop))
-                if state["first_reply_time"] is None:
-                    state["first_reply_time"] = engine.now
-                    state["first_reply_hop"] = hop
-
-            engine.post(arrival, on_reply)
-
-        def send(msg: MPILMessage, sender: int) -> None:
-            counters.messages_sent += 1
-            arrival = engine.now + self.latency.latency(sender, msg.at)
-            engine.post(arrival, process, msg)
-
-        def process(msg: MPILMessage) -> None:
-            node = msg.at
-            if not self.availability.is_online(node, engine.now):
-                counters.lost_offline += 1
-                return
-            if node in received:
-                counters.duplicates += 1
-                if suppress:
-                    return
-            received.add(node)
-            if suppress and node in processed:
-                return
-            processed.add(node)
-
-            if directory.has(node, object_id):
-                deliver_reply(node, msg.hop)
-                return
-            if msg.hop >= max_hops:
-                counters.drops_hop_limit += 1
-                return
-
-            scores = metric_table.scores_with_self(node, object_id)
-            excluded = set(msg.route)
-            excluded.add(node)
-            decision = decide_forwarding(
-                self_score=scores[0],
-                neighbor_ids=metric_table.neighbor_list(node),
-                neighbor_scores=scores[1:],
-                excluded=excluded,
-                max_flows=msg.max_flows,
-                given_flows=msg.given_flows,
-                rng=rng,
-                tie_break=cfg.tie_break,
-                local_max_rule=cfg.local_max_rule,
-            )
-            replicas_left = msg.replicas_left
-            if decision.is_local_max:
-                replicas_left -= 1
-                if replicas_left <= 0:
-                    return
-            for next_node, budget in zip(decision.next_hops, decision.budgets):
-                child = msg.child(next_node, budget)
-                child.replicas_left = replicas_left
-                send(child, node)
-
-        initial = MPILMessage(
-            kind=KIND_LOOKUP,
-            request_id=request_id,
-            object_id=object_id,
-            origin=origin,
-            owner=origin,
-            at=origin,
-            route=(),
-            max_flows=flows,
-            replicas_left=replicas,
-            hop=0,
-            given_flows=0,
-        )
-        engine.post(start_time, process, initial)
-        engine.run(until=deadline)
-
-        return TimedLookupResult(
-            object_id=object_id,
-            origin=origin,
+        pending = self.start_lookup(
+            engine,
+            origin,
+            object_id,
             start_time=start_time,
-            success=bool(replies),
-            first_reply_time=state["first_reply_time"],
-            first_reply_hop=state["first_reply_hop"],
-            replies=tuple(replies),
-            counters=counters,
+            max_flows=max_flows,
+            per_flow_replicas=per_flow_replicas,
+            duplicate_suppression=duplicate_suppression,
         )
+        engine.run(until=deadline)
+        return pending.result()

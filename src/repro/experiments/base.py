@@ -11,11 +11,21 @@ re-aggregated long after the run.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ExperimentError
 from repro.util.tables import render_table
+
+#: statistic suffixes appended to every varying numeric column when
+#: replicates are aggregated (see
+#: :func:`repro.experiments.store.aggregate_results`)
+DEFAULT_STAT_SUFFIXES = ("_mean", "_stdev", "_ci95")
+
+#: the extended suffix set service-mode experiments opt into: cross-seed
+#: percentiles of each per-window metric alongside the classic triple
+PERCENTILE_STAT_SUFFIXES = ("_p50", "_p95", "_p99")
 
 
 @dataclasses.dataclass
@@ -33,6 +43,11 @@ class ExperimentResult:
     #: passes these through and computes mean/stdev/ci95 for every other
     #: column, keeping the aggregate schema independent of the sampled data.
     key_columns: tuple[str, ...] = ()
+    #: statistic columns the aggregation step derives for every varying
+    #: numeric column.  The default triple suits one-shot success-rate
+    #: tables; service-mode experiments extend it with cross-seed
+    #: ``_p50/_p95/_p99`` percentiles (tail behavior is their measurand).
+    stat_suffixes: tuple[str, ...] = DEFAULT_STAT_SUFFIXES
 
     def table(self, float_digits: int = 3) -> str:
         header = f"{self.experiment_id}: {self.title} [scale={self.scale}]"
@@ -87,6 +102,7 @@ class ExperimentResult:
             "notes": self.notes,
             "scale": self.scale,
             "key_columns": list(self.key_columns),
+            "stat_suffixes": list(self.stat_suffixes),
         }
 
     @classmethod
@@ -101,6 +117,9 @@ class ExperimentResult:
                 notes=payload.get("notes", ""),
                 scale=payload.get("scale", "default"),
                 key_columns=tuple(payload.get("key_columns", ())),
+                stat_suffixes=tuple(
+                    payload.get("stat_suffixes", DEFAULT_STAT_SUFFIXES)
+                ),
             )
         except (KeyError, TypeError) as exc:
             raise ExperimentError(f"malformed ExperimentResult payload: {exc!r}") from None
@@ -123,9 +142,69 @@ def stdev(values: Sequence[float]) -> float:
     return math.sqrt(sum((v - center) ** 2 for v in values) / (len(values) - 1))
 
 
+@functools.lru_cache(maxsize=None)
+def t_critical_95(dof: int) -> float:
+    """Two-sided 95% Student-t critical value for ``dof`` degrees of freedom.
+
+    The experiments run 5-10 seeds per cell, where the normal
+    approximation's 1.96 understates the interval badly (t is 2.776 at 4
+    degrees of freedom); scipy supplies the exact quantile.  Cached per
+    ``dof`` — aggregation calls this once per varying column per row.
+    """
+    from scipy import stats  # deferred: keep `import repro` scipy-free
+
+    return float(stats.t.ppf(0.975, dof))
+
+
 def ci95(values: Sequence[float]) -> float:
-    """Half-width of the normal-approximation 95% confidence interval."""
+    """Half-width of the Student-t 95% confidence interval.
+
+    Uses the t critical value for ``n - 1`` degrees of freedom rather than
+    the normal approximation's 1.96, which understates the interval at the
+    5-10 seeds per cell the sweeps typically run.
+    """
     values = list(values)
     if len(values) < 2:
         return 0.0
-    return 1.96 * stdev(values) / math.sqrt(len(values))
+    return t_critical_95(len(values) - 1) * stdev(values) / math.sqrt(len(values))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with deterministic linear interpolation.
+
+    Matches numpy's default ("linear") method: for ``n`` sorted samples the
+    rank is ``q / 100 * (n - 1)``, interpolating between the neighbouring
+    order statistics.  Pure-python and branch-free in the hot path, so the
+    value is bit-identical across platforms and seeds — the windowed
+    latency pipeline relies on that for byte-stable artifacts.  Empty input
+    returns 0.0 (the module's "keep tables total" convention, like
+    :func:`mean`); a window with no successful lookups reports zero latency
+    alongside a zero success rate.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ExperimentError(f"percentile q must be in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] + (ordered[hi] - ordered[lo]) * frac)
+
+
+def p50(values: Sequence[float]) -> float:
+    """Median (see :func:`percentile`)."""
+    return percentile(values, 50.0)
+
+
+def p95(values: Sequence[float]) -> float:
+    """95th percentile (see :func:`percentile`)."""
+    return percentile(values, 95.0)
+
+
+def p99(values: Sequence[float]) -> float:
+    """99th percentile (see :func:`percentile`)."""
+    return percentile(values, 99.0)

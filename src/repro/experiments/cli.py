@@ -1,6 +1,6 @@
-"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|compose|perf``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|compose|serve|perf``.
 
-Seven commands:
+Eight commands:
 
 - ``list`` — show every registered experiment id and title, with
   ``--tags`` filtering on the registry metadata (``list --tags ext``);
@@ -22,6 +22,10 @@ Seven commands:
   failed/pending per seed, attempts, errors) without running anything;
 - ``compose`` — build an experiment from a declarative TOML/JSON spec
   (see :mod:`repro.experiments.compose`) and run it, no module required;
+- ``serve`` — run a sustained-traffic service experiment (open-loop
+  arrivals, per-window latency percentiles and SLO verdicts; see
+  :mod:`repro.service`), with ``--rate/--duration/--window`` overriding
+  the scale's traffic knobs and ``--format json`` for scripted callers;
 - ``perf`` — profile experiments (events/sec, wall clock, cProfile top-k)
   into ``BENCH_<id>.json`` files, optionally gating against a committed
   ``benchmarks/baseline.json`` (see :mod:`repro.perf`).
@@ -45,6 +49,7 @@ Examples::
     mpil-experiments sweep fig9 --seeds 0..99 --jobs 4 --resume --task-timeout 300
     mpil-experiments status fig9 --out results
     mpil-experiments compose my-sweep.toml --scale smoke --seed 1
+    mpil-experiments serve svc-outage --scale smoke --rate 2 --format json
     mpil-experiments perf fig9 ext-outage --scale smoke --check benchmarks/baseline.json
 
 (Without an installed entry point, invoke the same CLI as
@@ -71,7 +76,7 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sweep
-from repro.experiments.scales import SCALES
+from repro.experiments.scales import SCALES, with_service_overrides
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore, result_to_csv
 from repro.perf.profiler import profile_experiment, write_bench
@@ -229,6 +234,55 @@ def build_parser() -> argparse.ArgumentParser:
     )
     compose_parser.add_argument("--seed", type=int, default=0, help="root seed")
     compose_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        help="result-store root (same layout as `run --out`)",
+    )
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run a sustained-traffic service experiment (latency percentiles)",
+    )
+    serve_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="svc-steady",
+        help="a service-mode experiment id (default: svc-steady; "
+        "see `list --tags service`)",
+    )
+    serve_parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="experiment scale preset",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="override the scale's baseline arrival rate (arrivals/s)",
+    )
+    serve_parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="override the scale's traffic duration (simulated seconds)",
+    )
+    serve_parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="override the scale's metric window length (seconds)",
+    )
+    serve_parser.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help="print the per-window result as a table or as JSON",
+    )
+    serve_parser.add_argument(
         "--out",
         type=pathlib.Path,
         default=None,
@@ -414,6 +468,33 @@ def _cmd_compose(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    spec = get_spec(args.experiment)
+    if "service" not in spec.tags:
+        raise ExperimentError(
+            f"{args.experiment!r} is not a service-mode experiment; "
+            f"pick one tagged 'service' (see `list --tags service`)"
+        )
+    scale = with_service_overrides(
+        args.scale, rate=args.rate, duration=args.duration, window=args.window
+    )
+    started = time.perf_counter()
+    result = spec.run(scale=scale, seed=args.seed)
+    elapsed = time.perf_counter() - started
+    if args.format == "json":
+        # pure JSON on stdout so scripted callers (e.g. the CI smoke step)
+        # can parse it directly
+        print(json.dumps(result.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(result.table())
+    print(f"({spec.experiment_id} served in {elapsed:.1f}s)", file=sys.stderr)
+    if args.out is not None:
+        _persist_replicate(
+            _make_store(args.out), result, args.seed, elapsed, result.table()
+        )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(
         experiment_ids=tuple(_requested_ids(args.experiments)),
@@ -563,6 +644,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_run(args)
         if args.command == "compose":
             return _cmd_compose(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "perf":
             return _cmd_perf(args)
         if args.command == "status":

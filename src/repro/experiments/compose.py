@@ -38,6 +38,26 @@ Example (``severity-sweep.toml``)::
     spacing = 60.0               # seconds between lookups
     window = [0.33, 0.66]        # measure only this index fraction
 
+Instead of the spaced-lookup ``[workload]``, a spec may carry a
+``[service]`` table to run the open-loop service mode
+(:mod:`repro.service`): sustained Poisson or fixed-rate traffic against
+the perturbed overlay, reported per window with p50/p95/p99 latency,
+throughput, in-flight depth, and SLO verdicts (one row per ``(cell,
+variant, window)``; aggregation gains ``_p50/_p95/_p99`` columns)::
+
+    [service]                    # all parameters optional
+    rate = 2.0                   # arrivals/s (default: scale.service_rate)
+    duration = 600.0             # seconds   (default: scale.service_duration)
+    window = 60.0                # seconds   (default: scale.service_window)
+    arrival = "poisson"          # or "fixed"
+    insert_fraction = 0.1        # fraction of arrivals that are inserts
+    slo_latency = 1.0            # per-window p99 bound, seconds
+    slo_availability = 0.95      # per-window success-rate floor
+
+Numeric service parameters may also be ``"$<sweep column>"``; MSPastry
+always runs with interval-based eviction/rejoin plus probed views in
+service mode (the ``rejoin`` flag applies to the lookup workload only).
+
 then::
 
     from repro import api
@@ -85,6 +105,14 @@ from repro.perturbation.outage import RegionalOutage, RegionalOutageConfig
 from repro.perturbation.storms import JoinStormConfig, JoinStormSchedule
 from repro.perturbation.timeline import ScenarioTimeline
 from repro.perturbation.waves import ChurnWaveConfig, ChurnWaveSchedule
+from repro.service.arrivals import ARRIVAL_KINDS
+from repro.service.driver import (
+    SERVICE_COLUMNS,
+    SERVICE_STAT_SUFFIXES,
+    ServiceConfig,
+    service_rows,
+)
+from repro.service.windows import SLOPolicy
 
 DEFAULT_VARIANTS = ("pastry", "mpil-ds", "mpil-nods")
 DEFAULT_SPACING = 60.0
@@ -201,6 +229,19 @@ _FAMILY_PARAMS: dict[str, dict[str, str]] = {
 
 _OPTIONAL_PARAMS: dict[str, frozenset[str]] = {
     "adversarial-removal": frozenset({"targeting"}),
+}
+
+#: the [service] table's parameter schema; every parameter is optional
+#: (scale presets supply rate/duration/window, :class:`ServiceConfig` /
+#: :class:`SLOPolicy` defaults cover the rest)
+_SERVICE_PARAMS: dict[str, str] = {
+    "rate": "float",
+    "duration": "float",
+    "window": "float",
+    "arrival": "str",
+    "insert_fraction": "float",
+    "slo_latency": "float",
+    "slo_availability": "float",
 }
 
 
@@ -337,6 +378,47 @@ def _check_params(
                     validator(candidate)
 
 
+def _validate_arrival(value: Any) -> None:
+    if value not in ARRIVAL_KINDS:
+        raise ExperimentError(
+            f"service arrival must be one of {list(ARRIVAL_KINDS)}, got {value!r}"
+        )
+
+
+def _check_service_params(
+    table: Mapping[str, Any], column: str, axis_values: Sequence[Any]
+) -> None:
+    """Validate a [service] table fully at compose time, mirroring
+    :func:`_check_params`: unknown keys, axis references, and numeric
+    coercibility for every sweep value."""
+    unknown = set(table) - set(_SERVICE_PARAMS)
+    if unknown:
+        raise ExperimentError(
+            f"unknown parameter(s) {sorted(unknown)} in the [service] table; "
+            f"allowed: {sorted(_SERVICE_PARAMS)}"
+        )
+    for name in sorted(table):
+        value = table[name]
+        candidates = (
+            list(axis_values)
+            if isinstance(value, str) and value.startswith("$")
+            else [value]
+        )
+        _substitute(value, column, axis_values[0], "service")
+        if _SERVICE_PARAMS[name] == "float":
+            for candidate in candidates:
+                try:
+                    float(candidate)
+                except (TypeError, ValueError):
+                    raise ExperimentError(
+                        f"parameter {name!r} of the [service] table must be "
+                        f"a number, got {candidate!r}"
+                    ) from None
+        else:
+            for candidate in candidates:
+                _validate_arrival(candidate)
+
+
 def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
     """Build a runnable :class:`ExperimentSpec` from a declarative dict.
 
@@ -423,6 +505,22 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
             )
         window = (lo_frac, hi_frac)
 
+    raw_service = source.get("service")
+    service_table: Optional[Mapping[str, Any]] = None
+    if raw_service is not None:
+        if not isinstance(raw_service, Mapping):
+            raise ExperimentError("[service] must be a table")
+        if isinstance(workload, Mapping) and workload:
+            raise ExperimentError(
+                "give either a [workload] table (spaced lookups) or a "
+                "[service] table (open-loop traffic), not both"
+            )
+        _check_service_params(raw_service, column, axis_values)
+        service_table = raw_service
+    # measure_service is only wired into the pipeline when the table
+    # exists; the empty fallback just keeps its closure total
+    service_params: Mapping[str, Any] = service_table if service_table is not None else {}
+
     def build(ctx: RunContext) -> PerturbationTestbed:
         return build_testbed(
             ctx.scale.pastry_nodes, ctx.scale.perturbed_inserts, seed=ctx.seed
@@ -438,7 +536,7 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
         hi = max(lo + 1, int(num_lookups * window[1]))
         return range(lo, hi)
 
-    def measure(ctx: RunContext, testbed: PerturbationTestbed, cell: Any) -> Iterable[tuple]:
+    def _cell_schedule(ctx: RunContext, testbed: PerturbationTestbed, cell: Any) -> Any:
         processes: list[Any] = []
         for index, table in enumerate(scenario_tables):
             family = str(table["family"])
@@ -451,9 +549,10 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
             processes.append(
                 builder(params, testbed, (ctx.seed, "compose", index, family))
             )
-        schedule: Any = (
-            processes[0] if len(processes) == 1 else ScenarioTimeline(processes)
-        )
+        return processes[0] if len(processes) == 1 else ScenarioTimeline(processes)
+
+    def measure(ctx: RunContext, testbed: PerturbationTestbed, cell: Any) -> Iterable[tuple]:
+        schedule = _cell_schedule(ctx, testbed, cell)
         indices = _lookup_indices(ctx.scale.perturbed_lookups)
         row: list[Any] = [cell]
         for variant in variants:
@@ -480,6 +579,41 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
             row.append(round(100.0 * successes / len(indices), 1))
         return [tuple(row)]
 
+    def measure_service(
+        ctx: RunContext, testbed: PerturbationTestbed, cell: Any
+    ) -> Iterable[tuple]:
+        schedule = _cell_schedule(ctx, testbed, cell)
+        params = {
+            key: _substitute(value, column, cell, "service")
+            for key, value in service_params.items()
+        }
+        defaults = SLOPolicy()
+        config = ServiceConfig(
+            duration=float(params.get("duration", ctx.scale.service_duration)),
+            rate=float(params.get("rate", ctx.scale.service_rate)),
+            window=float(params.get("window", ctx.scale.service_window)),
+            arrival=str(params.get("arrival", "poisson")),
+            insert_fraction=float(params.get("insert_fraction", 0.0)),
+            slo=SLOPolicy(
+                latency_p99=float(params.get("slo_latency", defaults.latency_p99)),
+                availability=float(
+                    params.get("slo_availability", defaults.availability)
+                ),
+            ),
+        )
+        # one arrival plan for every cell (the sweep varies only the
+        # perturbation or substituted service parameters), per-cell
+        # rejoin/probing noise for the Pastry variants
+        rows = service_rows(
+            testbed,
+            schedule,
+            config,
+            seed=(ctx.seed, "compose-service"),
+            rejoin_seed=(ctx.seed, "compose-service", cell),
+            variants=variants,
+        )
+        return [(cell, *row) for row in rows]
+
     summary = " + ".join(
         "{}({})".format(
             table["family"],
@@ -487,23 +621,44 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
         )
         for table in scenario_tables
     )
-    notes = (
-        f"composed scenario: {summary}; lookups every {spacing:g}s"
-        + (f"; window {window[0]:g}..{window[1]:g} of the sequence" if window else "")
-        + ("; MSPastry with interval-based eviction/rejoin" if rejoin else "")
-    )
-
-    return ExperimentSpec(
-        experiment_id=experiment_id,
-        title=title,
-        pipeline=Pipeline(
+    if service_table is not None:
+        service_summary = (
+            ", ".join(f"{k}={v}" for k, v in sorted(service_table.items()))
+            or "scale defaults"
+        )
+        notes = (
+            f"composed scenario: {summary}; open-loop service traffic "
+            f"({service_summary}); windows keyed by arrival; MSPastry with "
+            f"interval-based eviction/rejoin"
+        )
+        pipeline = Pipeline(
+            columns=(column, *SERVICE_COLUMNS),
+            key_columns=(column, "variant", "window"),
+            build=build,
+            cells=cells,
+            measure=measure_service,
+            notes=notes,
+            stat_suffixes=SERVICE_STAT_SUFFIXES,
+        )
+    else:
+        notes = (
+            f"composed scenario: {summary}; lookups every {spacing:g}s"
+            + (f"; window {window[0]:g}..{window[1]:g} of the sequence" if window else "")
+            + ("; MSPastry with interval-based eviction/rejoin" if rejoin else "")
+        )
+        pipeline = Pipeline(
             columns=(column, *(VARIANT_LABELS[v] for v in variants)),
             key_columns=(column,),
             build=build,
             cells=cells,
             measure=measure,
             notes=notes,
-        ),
+        )
+
+    return ExperimentSpec(
+        experiment_id=experiment_id,
+        title=title,
+        pipeline=pipeline,
         tags=tags,
         figure=None,
         scenario_family=None,

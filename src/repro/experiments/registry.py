@@ -53,6 +53,7 @@ _EXPERIMENT_MODULES: tuple[str, ...] = (
     "repro.experiments.ext_wave",
     "repro.experiments.ext_joinstorm",
     "repro.experiments.ext_adversarial",
+    "repro.experiments.svc_service",
 )
 
 _loaded = False

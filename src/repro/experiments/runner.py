@@ -205,6 +205,7 @@ def run_sweep(
     max_retries: int = 2,
     task_timeout: Optional[float] = None,
     retry_backoff: float = 0.1,
+    retry_backoff_cap: float = 30.0,
 ) -> SweepReport:
     """Execute a sweep, persist replicates, and aggregate each experiment.
 
@@ -226,6 +227,7 @@ def run_sweep(
         max_retries=max_retries,
         task_timeout=task_timeout,
         retry_backoff=retry_backoff,
+        retry_backoff_cap=retry_backoff_cap,
     )
     started = time.perf_counter()
     tasks = spec.tasks()

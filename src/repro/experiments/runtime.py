@@ -127,6 +127,9 @@ class RuntimeConfig:
     max_retries: int = 2  #: re-attempts after the first try, per executor run
     task_timeout: Optional[float] = None  #: seconds before a worker is killed
     retry_backoff: float = 0.1  #: base delay; attempt n waits base * 2^(n-1)
+    #: ceiling on any single backoff delay — unbounded doubling with a high
+    #: ``--max-retries`` would otherwise sleep minutes between attempts
+    retry_backoff_cap: float = 30.0
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -143,6 +146,21 @@ class RuntimeConfig:
             raise ExperimentError(
                 f"retry-backoff must be >= 0, got {self.retry_backoff}"
             )
+        if self.retry_backoff_cap <= 0:
+            raise ExperimentError(
+                f"retry-backoff-cap must be positive, got {self.retry_backoff_cap}"
+            )
+
+
+def backoff_delay(config: RuntimeConfig, attempts_used: int) -> float:
+    """Seconds to wait before re-queuing a task after its ``attempts_used``-th
+    attempt: exponential in the attempt count, capped at
+    ``retry_backoff_cap`` so a generous ``--max-retries`` never turns into
+    minutes of dead air between attempts."""
+    return min(
+        config.retry_backoff_cap,
+        config.retry_backoff * 2 ** (attempts_used - 1),
+    )
 
 
 def execute_task(task: TaskKey) -> TaskOutcome:
@@ -278,9 +296,7 @@ def drain_ledger(
             failures.append(TaskFailure(*task, attempts=used, error=error))
         else:
             ledger.release(task, error)
-            not_before[task] = (
-                time.monotonic() + config.retry_backoff * 2 ** (used - 1)
-            )
+            not_before[task] = time.monotonic() + backoff_delay(config, used)
             pending.append(task)
 
     def reap(task: TaskKey, attempt: _Attempt, error: str) -> None:

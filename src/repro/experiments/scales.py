@@ -40,6 +40,13 @@ class Scale:
     wave_intensities: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0)
     storm_fractions: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
     removal_fractions: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4)
+    # sustained-traffic service mode (svc-steady, svc-outage): open-loop
+    # arrival stream against a live overlay; defaulted so hand-rolled Scale
+    # objects predating the service mode keep working
+    service_duration: float = 600.0  #: simulated seconds of traffic
+    service_rate: float = 1.0  #: baseline arrivals per simulated second
+    service_window: float = 60.0  #: latency-percentile window length
+    service_loads: tuple[float, ...] = (0.5, 1.0, 2.0)  #: rate multipliers
 
 
 _FULL_PROBS = tuple(round(0.1 * i, 1) for i in range(1, 11))
@@ -61,6 +68,10 @@ SCALES: dict[str, Scale] = {
         wave_intensities=(1.0, 4.0),
         storm_fractions=(0.3, 0.6),
         removal_fractions=(0.0, 0.2, 0.4),
+        service_duration=240.0,
+        service_rate=0.5,
+        service_window=60.0,
+        service_loads=(1.0, 2.0),
     ),
     "default": Scale(
         name="default",
@@ -74,6 +85,9 @@ SCALES: dict[str, Scale] = {
         perturbed_inserts=120,
         perturbed_lookups=120,
         flap_probabilities=_FULL_PROBS,
+        service_duration=1200.0,
+        service_rate=2.0,
+        service_window=120.0,
     ),
     "paper": Scale(
         name="paper",
@@ -91,6 +105,10 @@ SCALES: dict[str, Scale] = {
         wave_intensities=(1.0, 2.0, 4.0, 8.0, 16.0),
         storm_fractions=(0.1, 0.2, 0.4, 0.6, 0.8),
         removal_fractions=tuple(round(0.05 * i, 2) for i in range(0, 10)),
+        service_duration=3600.0,
+        service_rate=5.0,
+        service_window=300.0,
+        service_loads=(0.5, 1.0, 2.0, 4.0),
     ),
 }
 
@@ -105,3 +123,27 @@ def get_scale(scale: str | Scale) -> Scale:
         raise ExperimentError(
             f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
         ) from None
+
+
+def with_service_overrides(
+    scale: str | Scale,
+    rate: float | None = None,
+    duration: float | None = None,
+    window: float | None = None,
+) -> Scale:
+    """A scale with its service-traffic knobs selectively overridden.
+
+    The ``serve`` CLI command and :func:`repro.api.serve` use this to dial
+    the open-loop workload without defining a whole new preset; ``None``
+    keeps the preset's value.  Range validation happens in
+    :class:`repro.service.driver.ServiceConfig` when the run starts.
+    """
+    resolved = get_scale(scale)
+    overrides: dict[str, float] = {}
+    if rate is not None:
+        overrides["service_rate"] = float(rate)
+    if duration is not None:
+        overrides["service_duration"] = float(duration)
+    if window is not None:
+        overrides["service_window"] = float(window)
+    return dataclasses.replace(resolved, **overrides) if overrides else resolved

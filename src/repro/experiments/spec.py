@@ -42,7 +42,7 @@ import dataclasses
 from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.errors import ExperimentError
-from repro.experiments.base import ExperimentResult
+from repro.experiments.base import DEFAULT_STAT_SUFFIXES, ExperimentResult
 from repro.experiments.scales import Scale, get_scale
 
 #: the overlay/testbed stage: shared state built once per run
@@ -101,6 +101,11 @@ class Pipeline:
     cells: CellsStage = _single_cell
     notes: NotesStage = ""
     key_columns: tuple[str, ...] = ()
+    #: aggregation statistics derived per varying numeric column when
+    #: replicates of this experiment are merged (see
+    #: :func:`repro.experiments.store.aggregate_results`); service-mode
+    #: pipelines extend the default triple with ``_p50/_p95/_p99``
+    stat_suffixes: tuple[str, ...] = DEFAULT_STAT_SUFFIXES
 
     def __post_init__(self) -> None:
         if not self.columns:
@@ -110,6 +115,8 @@ class Pipeline:
             raise ExperimentError(
                 f"key_columns {sorted(unknown)} are not in columns {list(self.columns)}"
             )
+        if not self.stat_suffixes:
+            raise ExperimentError("a pipeline needs at least one stat suffix")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -153,6 +160,7 @@ class ExperimentSpec:
             notes=notes,
             scale=resolved.name,
             key_columns=pipeline.key_columns,
+            stat_suffixes=pipeline.stat_suffixes,
         )
 
     def matches_tags(self, tags: Iterable[str]) -> bool:

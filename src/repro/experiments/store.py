@@ -57,7 +57,16 @@ import subprocess
 from typing import Iterable, Optional, Sequence, Union
 
 from repro.errors import ExperimentError
-from repro.experiments.base import ExperimentResult, ci95, mean, stdev
+from repro.experiments.base import (
+    DEFAULT_STAT_SUFFIXES,
+    ExperimentResult,
+    ci95,
+    mean,
+    p50,
+    p95,
+    p99,
+    stdev,
+)
 from repro.experiments.ledger import (
     ResultRecord,
     TaskKey,
@@ -66,7 +75,18 @@ from repro.experiments.ledger import (
 )
 
 #: statistic columns appended, in order, for every varying numeric column
-STAT_SUFFIXES = ("_mean", "_stdev", "_ci95")
+#: (the default set; a result's ``stat_suffixes`` may extend it)
+STAT_SUFFIXES = DEFAULT_STAT_SUFFIXES
+
+#: every aggregation statistic a result may request, suffix -> reducer
+STAT_FUNCTIONS = {
+    "_mean": mean,
+    "_stdev": stdev,
+    "_ci95": ci95,
+    "_p50": p50,
+    "_p95": p95,
+    "_p99": p99,
+}
 
 
 def git_revision(cwd: Union[str, pathlib.Path, None] = None) -> str:
@@ -322,16 +342,26 @@ def aggregate_results(replicates: Sequence[ExperimentResult]) -> ExperimentResul
     runner guarantees this: same spec, different seeds).  When the result
     declares ``key_columns`` (every registered experiment does), those
     columns pass through unchanged and *every other numeric column* is
-    replaced by a ``_mean``/``_stdev``/``_ci95`` triple — so the aggregate
-    schema depends only on the experiment, never on which values the
-    sampled seeds happened to produce.  Results without ``key_columns``
-    fall back to a heuristic: columns identical across all replicates pass
-    through, varying numeric columns get the stat triple.  ``_ci95`` is the
-    half-width of the normal-approximation 95% confidence interval.
+    replaced by a stat column group — so the aggregate schema depends only
+    on the experiment, never on which values the sampled seeds happened to
+    produce.  The group is the result's ``stat_suffixes`` (default
+    ``_mean``/``_stdev``/``_ci95``; service experiments add
+    ``_p50``/``_p95``/``_p99`` for cross-seed tail statistics).  Results
+    without ``key_columns`` fall back to a heuristic: columns identical
+    across all replicates pass through, varying numeric columns get the
+    stat group.  ``_ci95`` is the half-width of the Student-t 95%
+    confidence interval.
     """
     if not replicates:
         raise ExperimentError("cannot aggregate zero replicates")
     first = replicates[0]
+    suffixes = tuple(first.stat_suffixes)
+    unknown_stats = [s for s in suffixes if s not in STAT_FUNCTIONS]
+    if unknown_stats:
+        raise ExperimentError(
+            f"unknown stat suffix(es) {unknown_stats} on {first.experiment_id}; "
+            f"available: {sorted(STAT_FUNCTIONS)}"
+        )
     for other in replicates[1:]:
         if other.experiment_id != first.experiment_id or other.scale != first.scale:
             raise ExperimentError(
@@ -373,7 +403,7 @@ def aggregate_results(replicates: Sequence[ExperimentResult]) -> ExperimentResul
         if is_key[j]:
             columns.append(name)
         elif is_numeric[j]:
-            columns.extend(name + suffix for suffix in STAT_SUFFIXES)
+            columns.extend(name + suffix for suffix in suffixes)
         else:
             # Non-numeric and varying (should not happen for registered
             # experiments); keep the first replicate's value.
@@ -388,11 +418,7 @@ def aggregate_results(replicates: Sequence[ExperimentResult]) -> ExperimentResul
             else:
                 values = [r.rows[i][j] for r in replicates]
                 cells.extend(
-                    (
-                        round(mean(values), 6),
-                        round(stdev(values), 6),
-                        round(ci95(values), 6),
-                    )
+                    round(STAT_FUNCTIONS[suffix](values), 6) for suffix in suffixes
                 )
         rows.append(tuple(cells))
 
@@ -404,6 +430,7 @@ def aggregate_results(replicates: Sequence[ExperimentResult]) -> ExperimentResul
         notes=f"aggregate of {len(replicates)} replicates; {first.notes}".rstrip("; "),
         scale=first.scale,
         key_columns=first.key_columns,
+        stat_suffixes=suffixes,
     )
 
 

@@ -1,0 +1,183 @@
+"""Windowed service metrics: tail latency, throughput, depth, SLO verdicts.
+
+A service run is judged per *window* — fixed-length slices of the run
+keyed by each request's **arrival** time (a request that arrives in
+window 3 and completes in window 4 is charged to window 3, so a window's
+numbers are a pure function of the requests it admitted).  Each window
+reports p50/p95/p99 discovery latency over its successful lookups,
+completed-lookup throughput, the peak number of requests simultaneously
+in flight, and an SLO verdict: a window violates the SLO when its lookup
+success rate falls below the availability floor *or* its p99 exceeds the
+latency bound.
+
+Percentiles use the linear-interpolation definition from
+:func:`repro.experiments.base.percentile`, including its empty-input
+``0.0`` sentinel — a window with zero successful lookups reports zeroed
+percentiles and surfaces as an SLO violation through the availability
+floor instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.base import p50, p95, p99
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOPolicy:
+    """The service-level objective one window is judged against.
+
+    ``latency_p99`` is the per-window p99 bound in simulated seconds;
+    ``availability`` is the per-window lookup success-rate floor in
+    ``[0, 1]``.
+    """
+
+    latency_p99: float = 1.0
+    availability: float = 0.95
+
+    def __post_init__(self) -> None:
+        if not self.latency_p99 > 0:
+            raise ExperimentError(
+                f"SLO latency bound must be positive, got {self.latency_p99!r}"
+            )
+        if not 0.0 <= self.availability <= 1.0:
+            raise ExperimentError(
+                f"SLO availability floor must be in [0, 1], got {self.availability!r}"
+            )
+
+    def ok(self, success_rate: float, latency_p99: float, lookups: int) -> bool:
+        """SLO verdict for one window (vacuously true with no lookups)."""
+        if lookups == 0:
+            return True
+        return success_rate >= self.availability and latency_p99 <= self.latency_p99
+
+
+@dataclasses.dataclass(frozen=True)
+class WindowStats:
+    """One window's service metrics."""
+
+    index: int
+    start: float
+    end: float
+    arrivals: int  #: all requests (lookups + inserts) arriving in-window
+    lookups: int
+    successes: int
+    success_rate: float  #: successful / issued lookups (1.0 when none issued)
+    p50: float
+    p95: float
+    p99: float
+    throughput: float  #: successful lookups per simulated second
+    peak_in_flight: int
+    slo_ok: bool
+
+
+def num_windows(duration: float, window: float) -> int:
+    """How many windows tile ``[0, duration)`` (the last may be partial)."""
+    if not window > 0:
+        raise ExperimentError(f"window length must be positive, got {window!r}")
+    if not duration > 0:
+        raise ExperimentError(f"duration must be positive, got {duration!r}")
+    return max(1, math.ceil(duration / window))
+
+
+def window_of(time: float, duration: float, window: float) -> int:
+    """The window index charging a request that arrived at ``time``."""
+    count = num_windows(duration, window)
+    return min(count - 1, max(0, int(time // window)))
+
+
+def peak_in_flight(
+    intervals: Iterable[tuple[float, float]], duration: float, window: float
+) -> list[int]:
+    """Peak concurrent requests per window from ``(start, end)`` lifespans.
+
+    A sweep over the interval endpoints: the peak for a window is the
+    larger of the depth carried in at the window boundary and any level
+    reached inside it, so requests spanning a whole window without an
+    endpoint inside still register.  Ends sort before starts at equal
+    times (a completion frees its slot before a simultaneous arrival).
+    """
+    count = num_windows(duration, window)
+    events: list[tuple[float, int]] = []
+    for start, end in intervals:
+        if end < start:
+            raise ExperimentError(
+                f"in-flight interval ends before it starts: ({start!r}, {end!r})"
+            )
+        events.append((start, +1))
+        events.append((end, -1))
+    events.sort(key=lambda item: (item[0], item[1]))
+    peaks = [0] * count
+    depth = 0
+    position = 0
+    for index in range(count):
+        boundary = duration if index == count - 1 else (index + 1) * window
+        peak = depth  # carried-in level at the window's left edge
+        while position < len(events) and events[position][0] < boundary:
+            depth += events[position][1]
+            peak = max(peak, depth)
+            position += 1
+        peaks[index] = peak
+    return peaks
+
+
+def summarize_windows(
+    records: Sequence,
+    duration: float,
+    window: float,
+    slo: Optional[SLOPolicy] = None,
+) -> list[WindowStats]:
+    """Fold service records into per-window :class:`WindowStats`.
+
+    ``records`` are :class:`~repro.service.driver.QueryRecord`-shaped
+    objects (``arrival``, ``kind``, ``success``, ``latency``,
+    ``completion``).  Every window in ``[0, duration)`` is reported, even
+    idle ones, so tables from different cells align row for row.
+    """
+    slo = slo if slo is not None else SLOPolicy()
+    count = num_windows(duration, window)
+    arrivals = [0] * count
+    lookups = [0] * count
+    successes = [0] * count
+    latencies: list[list[float]] = [[] for _ in range(count)]
+    intervals: list[tuple[float, float]] = []
+    for record in records:
+        index = window_of(record.arrival, duration, window)
+        arrivals[index] += 1
+        if record.kind != "lookup":
+            continue
+        lookups[index] += 1
+        if record.completion is not None:
+            intervals.append((record.arrival, record.completion))
+        if record.success and record.latency is not None:
+            successes[index] += 1
+            latencies[index].append(record.latency)
+    peaks = peak_in_flight(intervals, duration, window)
+    stats: list[WindowStats] = []
+    for index in range(count):
+        start = index * window
+        end = duration if index == count - 1 else (index + 1) * window
+        rate = successes[index] / lookups[index] if lookups[index] else 1.0
+        tail = p99(latencies[index])
+        stats.append(
+            WindowStats(
+                index=index,
+                start=start,
+                end=end,
+                arrivals=arrivals[index],
+                lookups=lookups[index],
+                successes=successes[index],
+                success_rate=rate,
+                p50=p50(latencies[index]),
+                p95=p95(latencies[index]),
+                p99=tail,
+                throughput=successes[index] / (end - start),
+                peak_in_flight=peaks[index],
+                slo_ok=slo.ok(rate, tail, lookups[index]),
+            )
+        )
+    return stats

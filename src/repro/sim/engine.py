@@ -269,10 +269,21 @@ class EventScheduler:
         """Execute every event with time ``<= until`` in one batched loop,
         then advance the clock to ``until``.  Returns the number executed.
 
+        ``until`` must not precede the current time: a long-lived windowed
+        driver calling ``run_until`` with out-of-order bounds would
+        otherwise silently corrupt its timeline, so a backwards bound
+        raises :class:`~repro.errors.SimulationError` (the clock never
+        moves backwards).
+
         This is the fast path behind :meth:`run`: one tight loop with the
         heap and slot arrays in locals, and a single process-counter update
         per batch rather than per event.
         """
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} before current time t={self._now}; "
+                f"the simulation clock never moves backwards"
+            )
         heap = self._heap
         cancelled = self._cancelled
         pending = self._pending_seqs
@@ -307,8 +318,14 @@ class EventScheduler:
 
         When ``until`` is given, the clock is advanced to ``until`` even if
         the queue drains earlier, so repeated ``run(until=...)`` calls form a
-        monotonic timeline.
+        monotonic timeline.  A bound earlier than the current time raises
+        :class:`~repro.errors.SimulationError` (see :meth:`run_until`).
         """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until} before current time t={self._now}; "
+                f"the simulation clock never moves backwards"
+            )
         if max_events is None:
             return self._drain() if until is None else self.run_until(until)
         executed = 0

@@ -81,8 +81,8 @@ class TestMain:
         assert main(["list", "--tags", "ext"]) == 0
         output = capsys.readouterr().out
         lines = [line for line in output.splitlines() if line.strip()]
-        assert len(lines) == 5
-        assert all(line.startswith("ext-") for line in lines)
+        assert len(lines) == 7
+        assert all(line.startswith(("ext-", "svc-")) for line in lines)
 
     def test_list_verbose_shows_metadata(self, capsys):
         assert main(["list", "--tags", "figure,paper", "--verbose"]) == 0
@@ -661,3 +661,63 @@ class TestStatusAndResume:
         )
         capsys.readouterr()
         assert self._artifact_bytes(reference) == self._artifact_bytes(resumed)
+
+
+class TestServeMain:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.experiment == "svc-steady"
+        assert args.rate is None and args.duration is None and args.window is None
+        assert args.format == "table"
+
+    def test_serve_parser_overrides(self, tmp_path):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "svc-outage",
+                "--scale",
+                "smoke",
+                "--seed",
+                "5",
+                "--rate",
+                "2.5",
+                "--duration",
+                "120",
+                "--window",
+                "30",
+                "--format",
+                "json",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert args.experiment == "svc-outage"
+        assert (args.rate, args.duration, args.window) == (2.5, 120.0, 30.0)
+        assert args.format == "json"
+
+    def test_serve_prints_windowed_table(self, capsys):
+        assert main(["serve", "svc-steady", "--scale", "smoke",
+                     "--duration", "60", "--rate", "0.5"]) == 0
+        captured = capsys.readouterr()
+        assert "latency_p99" in captured.out
+        assert "served in" in captured.err  # timing goes to stderr
+
+    def test_serve_json_is_parseable_with_nonzero_p99(self, capsys):
+        assert main(["serve", "svc-outage", "--scale", "smoke", "--format", "json",
+                     "--duration", "120", "--rate", "1", "--window", "60"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        columns = payload["columns"]
+        p99_index = columns.index("latency_p99")
+        assert any(row[p99_index] > 0 for row in payload["rows"])
+        assert "_p99" in payload["stat_suffixes"]
+
+    def test_serve_rejects_non_service_experiment(self, capsys):
+        assert main(["serve", "fig7"]) == 2  # one-line error, no traceback
+        assert "not a service-mode experiment" in capsys.readouterr().err
+
+    def test_serve_persists_replicate(self, tmp_path, capsys):
+        assert main(["serve", "svc-steady", "--scale", "smoke", "--duration", "60",
+                     "--rate", "0.5", "--seed", "4", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "svc-steady" / "smoke" / "seed_4.json").exists()

@@ -159,6 +159,35 @@ class TestBatchedRunUntil:
         assert engine.pending == 1
 
 
+class TestBackwardsClock:
+    """Regression: a bound earlier than `now` used to silently rewind the
+    windowed timeline; the clock must refuse to move backwards."""
+
+    def test_run_until_rejects_backwards_bound(self):
+        engine = EventScheduler()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError, match="never moves backwards"):
+            engine.run_until(5.0)
+        assert engine.now == 10.0  # clock untouched by the failed call
+
+    def test_run_rejects_backwards_until(self):
+        engine = EventScheduler()
+        engine.schedule(1.0, lambda: None)
+        engine.run(until=4.0)
+        with pytest.raises(SimulationError, match="never moves backwards"):
+            engine.run(until=2.0)
+        with pytest.raises(SimulationError, match="never moves backwards"):
+            engine.run(until=2.0, max_events=1)
+        assert engine.now == 4.0
+
+    def test_equal_bound_is_a_no_op(self):
+        engine = EventScheduler()
+        engine.run_until(3.0)
+        assert engine.run_until(3.0) == 0
+        assert engine.run(until=3.0) == 0
+        assert engine.now == 3.0
+
+
 class TestFreelist:
     def test_slots_are_recycled(self):
         engine = EventScheduler()

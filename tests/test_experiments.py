@@ -151,3 +151,52 @@ class TestWorkloads:
         )
         result = run_experiment("fig7", scale=scale, seed=0)
         assert result.rows
+
+
+class TestServiceExperiments:
+    """The sustained-traffic service modes (svc-*)."""
+
+    def test_registered_with_service_tag(self):
+        from repro.experiments.registry import get_spec
+
+        ids = all_experiment_ids()
+        for required in ("svc-steady", "svc-outage"):
+            assert required in ids
+            assert "service" in get_spec(required).tags
+
+    def test_svc_steady_smoke(self):
+        result = run_experiment("svc-steady", scale="smoke", seed=0)
+        assert result.columns[0] == "load"
+        assert {"variant", "window", "latency_p99", "slo_ok"} < set(result.columns)
+        loads = set(result.column("load"))
+        assert loads == set(get_scale("smoke").service_loads)
+        assert all(len(row) == len(result.columns) for row in result.rows)
+        # percentile ordering holds in every window
+        cols = result.columns
+        for row in result.rows:
+            p50, p95, p99 = (row[cols.index(c)] for c in
+                             ("latency_p50", "latency_p95", "latency_p99"))
+            assert p50 <= p95 <= p99
+
+    def test_svc_outage_deterministic_with_nonzero_p99(self):
+        first = run_experiment("svc-outage", scale="smoke", seed=0)
+        second = run_experiment("svc-outage", scale="smoke", seed=0)
+        assert first.rows == second.rows
+        p99s = first.column("latency_p99")
+        assert any(value > 0 for value in p99s)
+        # a full-severity outage must break some SLO windows
+        severity = first.column("outage_severity")
+        slo = first.column("slo_ok")
+        assert any(s == 1.0 and ok == 0 for s, ok in zip(severity, slo))
+
+    def test_service_replicates_aggregate_with_percentiles(self):
+        from repro.experiments.store import aggregate_results
+
+        replicates = [
+            run_experiment("svc-steady", scale="smoke", seed=seed)
+            for seed in (0, 1)
+        ]
+        aggregate = aggregate_results(replicates)
+        assert "latency_p99_p95" in aggregate.columns
+        assert "latency_p99_mean" in aggregate.columns
+        assert "throughput_ci95" in aggregate.columns

@@ -121,3 +121,21 @@ def test_api_sweep_resume_and_status(tmp_path):
 
     records = ResultStore(tmp_path).query("fig7", "smoke")
     assert [record.seed for record in records] == [0, 1, 2]
+
+
+def test_api_serve_facade():
+    """api.serve mirrors the CLI serve command, overrides included."""
+    from repro import api
+    from repro.errors import ExperimentError
+
+    result = api.serve("svc-steady", scale="smoke", seed=1,
+                       rate=0.5, duration=60.0, window=30.0)
+    assert "latency_p99" in result.columns
+    assert "_p99" in result.stat_suffixes
+    # two windows per run at duration 60 / window 30
+    windows = set(result.column("window"))
+    assert windows == {0, 1}
+
+    with pytest.raises(ExperimentError, match="not a service-mode"):
+        api.serve("fig7", scale="smoke")
+    assert "serve" in api.__all__

@@ -287,3 +287,54 @@ class TestParentKill:
         spec = SweepSpec(("fig7",), seeds=(0, 1), scale="smoke")
         run_sweep(spec, ResultStore(reference), jobs=1)
         assert artifact_bytes(out) == artifact_bytes(reference)
+
+
+class TestRetryBackoffCap:
+    """Exponential retry backoff is capped (issue satellite): a generous
+    retry budget must never schedule a multi-minute sleep."""
+
+    def test_delay_doubles_then_caps(self):
+        from repro.experiments.runtime import RuntimeConfig, backoff_delay
+
+        config = RuntimeConfig(retry_backoff=1.0, retry_backoff_cap=30.0)
+        assert [backoff_delay(config, n) for n in (1, 2, 3, 4, 5)] == [
+            1.0,
+            2.0,
+            4.0,
+            8.0,
+            16.0,
+        ]
+        assert backoff_delay(config, 6) == 30.0  # 32 would exceed the cap
+        assert backoff_delay(config, 50) == 30.0  # no overflow blow-up either
+
+    def test_cap_applies_to_large_bases(self):
+        from repro.experiments.runtime import RuntimeConfig, backoff_delay
+
+        config = RuntimeConfig(retry_backoff=120.0, retry_backoff_cap=30.0)
+        assert backoff_delay(config, 1) == 30.0
+
+    def test_cap_validation(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.runtime import RuntimeConfig
+
+        with pytest.raises(ExperimentError, match="retry-backoff-cap"):
+            RuntimeConfig(retry_backoff_cap=0.0)
+        with pytest.raises(ExperimentError, match="retry-backoff-cap"):
+            RuntimeConfig(retry_backoff_cap=-5.0)
+
+    def test_run_sweep_threads_cap_through(self, tmp_path, faulty_experiment):
+        (faulty_experiment / "raise_1").touch()
+        store = ResultStore(tmp_path / "capped")
+        started = time.monotonic()
+        report = run_sweep(
+            _sweep_spec(),
+            store,
+            jobs=1,
+            max_retries=2,
+            retry_backoff=100.0,  # uncapped, the retry would sleep >100s
+            retry_backoff_cap=0.05,
+        )
+        assert time.monotonic() - started < 60.0
+        assert not report.failures
+        rows = {r.seed: r for r in store.ledger.rows(experiment_id="fault-stub")}
+        assert rows[1].attempts == 2  # the armed raise plus the capped retry

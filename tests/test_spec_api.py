@@ -133,7 +133,11 @@ class TestRegistryMetadata:
             "ext-wave",
             "ext-joinstorm",
             "ext-adversarial",
+            "svc-steady",
+            "svc-outage",
         }
+        service = {spec.experiment_id for spec in list_experiments(("service",))}
+        assert service == {"svc-steady", "svc-outage"}
         paper_tables = [spec.experiment_id for spec in list_experiments(("table", "paper"))]
         assert paper_tables == ["tab1", "tab2", "tab3"]
         assert list_experiments(("no-such-tag",)) == []
@@ -320,6 +324,87 @@ class TestCompose:
             compose_spec(source)
 
 
+def _service_source(experiment_id: str = "composed-service") -> dict:
+    source = _composed_source(experiment_id)
+    del source["workload"]
+    source["sweep"] = {"column": "severity", "values": [0.0, 1.0]}
+    source["service"] = {
+        "rate": 0.5,
+        "duration": 120.0,
+        "window": 60.0,
+        "arrival": "poisson",
+        "insert_fraction": 0.1,
+        "slo_latency": 1.0,
+        "slo_availability": 0.9,
+    }
+    return source
+
+
+class TestComposeService:
+    """The [service] table routes a composed sweep through the open-loop
+    service driver instead of the spaced lookup workload."""
+
+    def test_service_spec_runs_windowed_rows(self):
+        spec = compose_spec(_service_source())
+        result = spec.run(scale="smoke", seed=0)
+        assert result.columns[:3] == ("severity", "variant", "window")
+        assert {"latency_p50", "latency_p99", "slo_ok"} < set(result.columns)
+        assert result.key_columns == ("severity", "variant", "window")
+        # 2 severities x 3 variants x 2 windows
+        assert len(result.rows) == 12
+        assert "_p50" in result.stat_suffixes and "_p99" in result.stat_suffixes
+
+    def test_service_spec_deterministic(self):
+        spec = compose_spec(_service_source())
+        a = spec.run(scale="smoke", seed=3)
+        b = spec.run(scale="smoke", seed=3)
+        assert a.rows == b.rows
+
+    def test_service_params_substitute_sweep_axis(self):
+        source = _service_source()
+        source["sweep"] = {"column": "rate", "values": [0.25, 0.5]}
+        source["scenario"] = [
+            {"family": "flapping", "period": "30:30", "probability": 0.5}
+        ]
+        source["service"]["rate"] = "$rate"
+        result = compose_spec(source).run(scale="smoke", seed=0)
+        arrivals_by_rate = {
+            rate: sum(
+                row[result.columns.index("arrivals")]
+                for row in result.rows
+                if row[0] == rate and row[1] == "MPIL with DS"
+            )
+            for rate in (0.25, 0.5)
+        }
+        # double the offered rate, roughly double the arrivals
+        assert arrivals_by_rate[0.5] > arrivals_by_rate[0.25]
+
+    @pytest.mark.parametrize(
+        "mutate, fragment",
+        [
+            (
+                lambda s: s.update(workload={"spacing": 60.0}),
+                "not both",
+            ),
+            (lambda s: s["service"].update(burstiness=2.0), "unknown parameter"),
+            (lambda s: s["service"].update(arrival="burst"), "arrival"),
+            (lambda s: s["service"].update(rate="fast"), "must be a number"),
+            (
+                lambda s: s["service"].update(duration="$severity"),
+                None,  # axis substitution is allowed; no error
+            ),
+        ],
+    )
+    def test_service_table_validation(self, mutate, fragment):
+        source = _service_source()
+        mutate(source)
+        if fragment is None:
+            compose_spec(source)
+        else:
+            with pytest.raises(ExperimentError, match=fragment):
+                compose_spec(source)
+
+
 class TestApiFacade:
     def test_run_by_id_matches_registry(self):
         assert (
@@ -338,6 +423,8 @@ class TestApiFacade:
             "ext-wave",
             "ext-joinstorm",
             "ext-adversarial",
+            "svc-steady",
+            "svc-outage",
         ]
 
     def test_get_returns_registered_spec(self):

@@ -176,6 +176,77 @@ class TestAggregation:
         with pytest.raises(ExperimentError, match="zero replicates"):
             aggregate_results([])
 
+    def test_percentile_suffixes_aggregate(self):
+        from repro.experiments.base import (
+            DEFAULT_STAT_SUFFIXES,
+            PERCENTILE_STAT_SUFFIXES,
+            p95,
+        )
+
+        suffixes = DEFAULT_STAT_SUFFIXES + PERCENTILE_STAT_SUFFIXES
+        values = [1.0, 2.0, 3.0, 4.0]
+        replicates = []
+        for v in values:
+            result = make_result(v, key_columns=("family", "nodes"))
+            replicates.append(
+                ExperimentResult(
+                    experiment_id=result.experiment_id,
+                    title=result.title,
+                    columns=result.columns,
+                    rows=result.rows,
+                    notes=result.notes,
+                    scale=result.scale,
+                    key_columns=result.key_columns,
+                    stat_suffixes=suffixes,
+                )
+            )
+        aggregate = aggregate_results(replicates)
+        assert aggregate.columns == (
+            "family",
+            "nodes",
+            "metric_mean",
+            "metric_stdev",
+            "metric_ci95",
+            "metric_p50",
+            "metric_p95",
+            "metric_p99",
+        )
+        first = aggregate.rows[0]
+        assert first[2] == pytest.approx(2.5)
+        assert first[5] == pytest.approx(2.5)  # p50 over the 4 replicates
+        assert first[6] == pytest.approx(p95(values), abs=1e-6)
+        assert aggregate.stat_suffixes == suffixes
+
+    def test_unknown_stat_suffix_rejected(self):
+        result = make_result(1.0, key_columns=("family", "nodes"))
+        bad = ExperimentResult(
+            experiment_id=result.experiment_id,
+            title=result.title,
+            columns=result.columns,
+            rows=result.rows,
+            scale=result.scale,
+            key_columns=result.key_columns,
+            stat_suffixes=("_mean", "_p42"),
+        )
+        with pytest.raises(ExperimentError, match="_p42"):
+            aggregate_results([bad, bad])
+
+    def test_stat_suffixes_round_trip(self):
+        from repro.experiments.base import PERCENTILE_STAT_SUFFIXES
+
+        result = make_result()
+        custom = ExperimentResult(
+            experiment_id=result.experiment_id,
+            title=result.title,
+            columns=result.columns,
+            rows=result.rows,
+            scale=result.scale,
+            stat_suffixes=PERCENTILE_STAT_SUFFIXES,
+        )
+        rebuilt = ExperimentResult.from_dict(json.loads(json.dumps(custom.to_dict())))
+        assert rebuilt == custom
+        assert rebuilt.stat_suffixes == PERCENTILE_STAT_SUFFIXES
+
     def test_write_aggregate_artifacts(self, tmp_path):
         store = ResultStore(tmp_path)
         aggregate = aggregate_results([make_result(v) for v in (1.0, 2.0)])

@@ -109,3 +109,78 @@ class TestPerturbedBehaviour:
         a = timed.lookup_at(0, keys[0], start_time=0.0, duplicate_suppression=True)
         b = timed.lookup_at(0, keys[0], start_time=0.0, duplicate_suppression=False)
         assert b.counters.messages_sent >= a.counters.messages_sent
+
+
+class TestStartLookup:
+    """The shared-scheduler entry point behind the service drivers."""
+
+    def _setup(self, seed=11, n=60):
+        overlay = fixed_degree_random_graph(n, degree=8, seed=seed)
+        timed = _timed(overlay, seed=seed, max_flows=8, per_flow_replicas=4)
+        rng = derive_rng(seed, "keys")
+        keys = [SPACE.random_identifier(rng) for _ in range(10)]
+        for key in keys:
+            timed.insert_static(rng.randrange(n), key)
+        return timed, keys
+
+    def test_matches_lookup_at_on_private_engine(self):
+        timed, keys = self._setup()
+        baseline = [timed.lookup_at(0, key, start_time=0.0) for key in keys]
+        timed.request_counter = 0  # replay the same per-request RNG streams
+        from repro.sim.engine import EventScheduler
+
+        results = []
+        for key, expected in zip(keys, baseline):
+            engine = EventScheduler()
+            pending = timed.start_lookup(engine, 0, key)
+            engine.run()
+            assert pending.done
+            results.append(pending.result())
+            assert pending.success == expected.success
+            assert pending.first_reply_time == expected.first_reply_time
+        assert [r.counters.messages_sent for r in results] == [
+            b.counters.messages_sent for b in baseline
+        ]
+
+    def test_overlapping_lookups_share_one_engine(self):
+        timed, keys = self._setup()
+        from repro.sim.engine import EventScheduler
+
+        engine = EventScheduler()
+        completed = []
+        handles = [
+            timed.start_lookup(
+                engine, 0, key, start_time=0.01 * i, on_complete=completed.append
+            )
+            for i, key in enumerate(keys)
+        ]
+        assert all(not h.done for h in handles)  # nothing runs until the engine does
+        engine.run()
+        assert all(h.done for h in handles)
+        assert sorted(completed, key=id) == sorted(handles, key=id)
+        assert any(h.success for h in handles)
+
+    def test_start_time_cannot_precede_engine_clock(self):
+        timed, keys = self._setup()
+        from repro.errors import SimulationError
+        from repro.sim.engine import EventScheduler
+
+        engine = EventScheduler()
+        engine.run_until(10.0)
+        with pytest.raises(SimulationError):
+            timed.start_lookup(engine, 0, keys[0], start_time=5.0)
+            engine.run()
+
+    def test_origin_validated(self):
+        timed, keys = self._setup()
+        from repro.sim.engine import EventScheduler
+
+        with pytest.raises(RoutingError):
+            timed.start_lookup(EventScheduler(), 99, keys[0])
+
+    def test_request_counter_snapshot_restores_noise_stream(self):
+        timed, keys = self._setup()
+        first = timed.lookup_at(0, keys[0], start_time=0.0)
+        timed.request_counter -= 1
+        replay = timed.lookup_at(0, keys[0], start_time=0.0)
+        assert replay == first
