@@ -52,24 +52,50 @@ from repro.experiments.registry import (
     unregister,
 )
 from repro.experiments.runner import SweepReport, SweepSpec, parse_seeds, run_sweep
-from repro.experiments.scales import Scale, with_service_overrides
+from repro.experiments.scales import (
+    Scale,
+    all_scales,
+    get_scale,
+    register_scale,
+    unregister_scale,
+    with_service_overrides,
+)
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "Scale",
     "SweepReport",
     "compose",
     "get",
+    "get_scale",
     "list_experiments",
     "register",
+    "register_scale",
     "run",
+    "scales",
     "serve",
     "sweep",
     "sweep_status",
     "unregister",
+    "unregister_scale",
 ]
+
+
+def scales() -> list[Scale]:
+    """Every known scale rung — built-in and registered — sorted by name.
+
+    This (with :func:`get_scale` and :func:`register_scale`) is the
+    supported way to work with rungs; reaching into
+    ``experiments.scales.SCALES`` only sees the built-ins.
+
+    >>> from repro import api
+    >>> [s.name for s in api.scales()][:3]
+    ['default', 'large', 'massive']
+    """
+    return list(all_scales())
 
 
 def list_experiments(tags: Iterable[str] = ()) -> list[ExperimentSpec]:

@@ -21,6 +21,12 @@ import numpy as np
 
 from repro.errors import IdSpaceError
 
+#: translation tables for the C-speed digit decompositions below: a hex
+#: (or binary) rendering of the value *is* the digit string, modulo mapping
+#: each ASCII digit character to its numeric value
+_HEX_DIGITS = bytes.maketrans(b"0123456789abcdef", bytes(range(16)))
+_BIN_DIGITS = bytes.maketrans(b"01", bytes((0, 1)))
+
 
 @dataclasses.dataclass(frozen=True)
 class IdSpace:
@@ -146,13 +152,25 @@ class Identifier:
             )
         self._value = value
         self._space = space
-        digits = bytearray(space.num_digits)
-        v = value
-        mask = space.base - 1
-        for i in range(space.num_digits - 1, -1, -1):
-            digits[i] = v & mask
-            v >>= space.digit_bits
-        self._digits = bytes(digits)
+        num_digits = space.num_digits
+        digit_bits = space.digit_bits
+        # Decompose into digits at C speed where the digit width lines up
+        # with a printable base (the scale-ladder rungs mint 10^5-10^6 ids,
+        # so the per-id Python digit loop was a measurable setup cost).
+        if digit_bits == 4:
+            self._digits = format(value, "0%dx" % num_digits).encode("ascii").translate(_HEX_DIGITS)
+        elif digit_bits == 8:
+            self._digits = value.to_bytes(num_digits, "big")
+        elif digit_bits == 1:
+            self._digits = format(value, "0%db" % num_digits).encode("ascii").translate(_BIN_DIGITS)
+        else:
+            digits = bytearray(num_digits)
+            v = value
+            mask = space.base - 1
+            for i in range(num_digits - 1, -1, -1):
+                digits[i] = v & mask
+                v >>= digit_bits
+            self._digits = bytes(digits)
         self._digits_array = np.frombuffer(self._digits, dtype=np.uint8)
 
     @property

@@ -20,7 +20,8 @@ from typing import Sequence
 import numpy as np
 
 from repro.core.identifiers import Identifier
-from repro.errors import ConfigurationError, RoutingError
+from repro.core.soa import NodeArrays
+from repro.errors import ConfigurationError
 
 
 def common_digits(a: Identifier, b: Identifier) -> int:
@@ -91,13 +92,26 @@ def metric_by_name(name: str):
 
 
 class NeighborMetricTable:
-    """Per-node neighbor digit matrices for vectorised metric evaluation.
+    """Struct-of-arrays metric table: batched scoring over one shared matrix.
+
+    The table is a thin façade over :class:`repro.core.soa.NodeArrays` — one
+    shared ``(n, M)`` digit matrix plus the overlay's CSR adjacency.  There
+    are no per-node matrix copies and no per-node construction loop, which
+    is what makes 10^5-node populations affordable: building the table is a
+    handful of vectorised array operations.
+
+    Scoring is batched per *target*: the first query against a target
+    evaluates the metric over the whole population in one vectorised pass
+    (:meth:`scores_all`); every node's forwarding decision then gathers its
+    ``[self, *neighbors]`` slice from that vector.  Results are integer-exact
+    and byte-identical to scoring each node's matrix separately, because all
+    three metrics are row-wise independent.
 
     Parameters
     ----------
     overlay:
         An :class:`repro.overlay.graph.OverlayGraph` (or anything exposing
-        ``n`` and ``neighbors(i)``).
+        ``n`` and ``adjacency_arrays()``).
     ids:
         Sequence of :class:`Identifier`, one per overlay node.
     metric:
@@ -109,66 +123,67 @@ class NeighborMetricTable:
     SCORE_CACHE_LIMIT = 200_000
 
     def __init__(self, overlay, ids: Sequence[Identifier], metric=None):
-        if len(ids) != overlay.n:
-            raise RoutingError(
-                f"identifier list has {len(ids)} entries for {overlay.n} nodes"
-            )
+        self.arrays = NodeArrays(overlay, ids)
         self.overlay = overlay
-        self.ids = tuple(ids)
+        self.ids = self.arrays.ids
         self.metric = metric if metric is not None else CommonDigitsMetric()
-        num_digits = ids[0].space.num_digits if ids else 0
-        # One shared (n, M) digit matrix; per-node matrices are fancy-indexed
-        # views of it, with the node's own digits prepended as row 0 so one
-        # vectorised metric call yields the self score and every neighbor
-        # score together.
-        if ids:
-            all_digits = np.stack([identifier.digits_array for identifier in ids])
-        else:  # pragma: no cover - empty overlays are rejected upstream
-            all_digits = np.empty((0, num_digits), dtype=np.uint8)
-        self._neighbor_ids: list[np.ndarray] = []
-        self._neighbor_tuples: list[tuple[int, ...]] = []
-        self._matrices: list[np.ndarray] = []
-        self._matrices_with_self: list[np.ndarray] = []
-        for node in range(overlay.n):
-            neighbors = overlay.neighbors(node)
-            self._neighbor_ids.append(np.asarray(neighbors, dtype=np.int64))
-            self._neighbor_tuples.append(tuple(int(v) for v in neighbors))
-            rows = (node,) + self._neighbor_tuples[-1]
-            with_self = all_digits[list(rows)]
-            self._matrices_with_self.append(with_self)
-            self._matrices.append(with_self[1:])
+        self._neighbor_tuples: dict[int, tuple[int, ...]] = {}
         self._score_cache: dict[tuple[int, int], list[int]] = {}
+        # Full-population score vectors, keyed by target value.  Each entry
+        # is 4n bytes, so the bound scales inversely with population size to
+        # keep the cache's worst case in the same ballpark as the memo above.
+        self._target_cache: dict[int, np.ndarray] = {}
+        self._max_cached_targets = max(
+            4, self.SCORE_CACHE_LIMIT // max(1, self.arrays.n)
+        )
 
     def neighbor_array(self, node: int) -> np.ndarray:
         """Neighbor indices of ``node`` aligned with :meth:`scores`."""
-        return self._neighbor_ids[node]
+        return self.arrays.neighbors(node)
 
     def neighbor_list(self, node: int) -> tuple[int, ...]:
         """Neighbor indices of ``node`` as plain Python ints (the form the
-        forwarding decision consumes without per-element numpy casts)."""
-        return self._neighbor_tuples[node]
+        forwarding decision consumes without per-element numpy casts).
+        Materialised lazily per node from the CSR slice."""
+        cached = self._neighbor_tuples.get(node)
+        if cached is None:
+            cached = tuple(self.arrays.neighbors(node).tolist())
+            self._neighbor_tuples[node] = cached
+        return cached
+
+    def scores_all(self, target: Identifier) -> np.ndarray:
+        """Metric scores of *every* node against ``target`` (one vectorised
+        pass over the shared digit matrix, memoised per target).  Callers
+        must treat the returned array as read-only."""
+        vector = self._target_cache.get(target.value)
+        if vector is None:
+            if len(self._target_cache) >= self._max_cached_targets:
+                self._target_cache.clear()
+            vector = self.metric.scores_matrix(
+                target.digits_array, self.arrays.digits
+            )
+            self._target_cache[target.value] = vector
+        return vector
 
     def scores(self, node: int, target: Identifier) -> np.ndarray:
         """Metric scores of every neighbor of ``node`` against ``target``."""
-        return self.metric.scores_matrix(target.digits_array, self._matrices[node])
+        return self.scores_all(target)[self.arrays.neighbors(node)]
 
     def scores_with_self(self, node: int, target: Identifier) -> list[int]:
         """``[self_score, *neighbor_scores]`` as one memoised Python list.
 
-        One vectorised metric evaluation covers the node and all of its
-        neighbors; results are cached per ``(node, target)`` because the
-        perturbation experiments re-route the same objects across many
-        scenario cells and protocol variants.  Callers must treat the
-        returned list as read-only.
+        Gathered from the batched per-target vector (:meth:`scores_all`);
+        results are cached per ``(node, target)`` because the perturbation
+        experiments re-route the same objects across many scenario cells and
+        protocol variants.  Callers must treat the returned list as
+        read-only.
         """
         key = (node, target.value)
         cached = self._score_cache.get(key)
         if cached is None:
             if len(self._score_cache) >= self.SCORE_CACHE_LIMIT:
                 self._score_cache.clear()
-            cached = self.metric.scores_matrix(
-                target.digits_array, self._matrices_with_self[node]
-            ).tolist()
+            cached = self.scores_all(target)[self.arrays.rows_ws(node)].tolist()
             self._score_cache[key] = cached
         return cached
 

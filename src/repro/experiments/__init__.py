@@ -35,23 +35,45 @@ from repro.experiments.registry import (
     run_experiment,
     unregister,
 )
+from repro.experiments.budget import BudgetGuard
 from repro.experiments.runner import SweepReport, SweepSpec, parse_seeds, run_sweep
-from repro.experiments.scales import SCALES, Scale, get_scale
+from repro.experiments.scales import (
+    SCALES,
+    AnalysisSpec,
+    BudgetSpec,
+    PerturbSpec,
+    Scale,
+    ServiceSpec,
+    StaticSpec,
+    all_scales,
+    available_scales,
+    get_scale,
+    register_scale,
+    unregister_scale,
+)
 from repro.experiments.spec import ExperimentSpec, Pipeline, RunContext
 from repro.experiments.store import ResultStore, aggregate_results
 
 __all__ = [
+    "AnalysisSpec",
+    "BudgetGuard",
+    "BudgetSpec",
     "ExperimentResult",
     "ExperimentSpec",
+    "PerturbSpec",
     "Pipeline",
     "ResultStore",
     "RunContext",
     "SCALES",
     "Scale",
+    "ServiceSpec",
+    "StaticSpec",
     "SweepReport",
     "SweepSpec",
     "aggregate_results",
     "all_experiment_ids",
+    "all_scales",
+    "available_scales",
     "compose_spec",
     "experiment",
     "get_experiment",
@@ -61,7 +83,9 @@ __all__ = [
     "load_spec_file",
     "parse_seeds",
     "register",
+    "register_scale",
     "run_experiment",
     "run_sweep",
     "unregister",
+    "unregister_scale",
 ]

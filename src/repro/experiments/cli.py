@@ -28,7 +28,10 @@ Eight commands:
   the scale's traffic knobs and ``--format json`` for scripted callers;
 - ``perf`` — profile experiments (events/sec, wall clock, cProfile top-k)
   into ``BENCH_<id>.json`` files, optionally gating against a committed
-  ``benchmarks/baseline.json`` (see :mod:`repro.perf`).
+  ``benchmarks/baseline.json`` (see :mod:`repro.perf`); ``--scale`` takes
+  a comma-separated rung list (``smoke,large``) profiled in turn with the
+  construction caches cleared between rungs, and budgeted rungs
+  additionally gate on their declared wall-clock/RSS ceilings.
 
 The sweep store layout is ``<out>/<experiment>/<scale>/seed_<n>.json`` with
 a ``manifest.json`` (git revision, timestamps, wall-clock, event counts)
@@ -76,12 +79,21 @@ from repro.experiments.registry import (
     run_experiment,
 )
 from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sweep
-from repro.experiments.scales import SCALES, with_service_overrides
+from repro.experiments.scales import available_scales, get_scale, with_service_overrides
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore, result_to_csv
 from repro.perf.profiler import profile_experiment, write_bench
-from repro.perf.regression import check_regressions, write_baseline
+from repro.perf.regression import check_budgets, check_regressions, write_baseline
 from repro.perturbation.scenario import get_family, scenario_families, scenarios_for
+from repro.util.cache import clear_all_caches
+
+
+def _scale_help(extra: str = "") -> str:
+    """The ``--scale`` help line: built-in rungs plus registered ones."""
+    return (
+        f"experiment scale rung ({', '.join(available_scales())}, "
+        f"or a rung registered via repro.api.register_scale){extra}"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,8 +139,8 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--scale",
         default="default",
-        choices=sorted(SCALES),
-        help="experiment scale preset",
+        metavar="SCALE",
+        help=_scale_help(),
     )
     run_parser.add_argument("--seed", type=int, default=0, help="root seed")
     run_parser.add_argument(
@@ -152,8 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--scale",
         default="default",
-        choices=sorted(SCALES),
-        help="experiment scale preset",
+        metavar="SCALE",
+        help=_scale_help(),
     )
     sweep_parser.add_argument(
         "--seeds",
@@ -207,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     status_parser.add_argument(
         "--scale",
         default=None,
-        choices=sorted(SCALES),
+        metavar="SCALE",
         help="only this scale's tasks (default: every scale in the ledger)",
     )
     status_parser.add_argument(
@@ -229,8 +241,8 @@ def build_parser() -> argparse.ArgumentParser:
     compose_parser.add_argument(
         "--scale",
         default="default",
-        choices=sorted(SCALES),
-        help="experiment scale preset",
+        metavar="SCALE",
+        help=_scale_help(),
     )
     compose_parser.add_argument("--seed", type=int, default=0, help="root seed")
     compose_parser.add_argument(
@@ -254,8 +266,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--scale",
         default="default",
-        choices=sorted(SCALES),
-        help="experiment scale preset",
+        metavar="SCALE",
+        help=_scale_help(),
     )
     serve_parser.add_argument("--seed", type=int, default=0, help="root seed")
     serve_parser.add_argument(
@@ -301,8 +313,10 @@ def build_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument(
         "--scale",
         default="smoke",
-        choices=sorted(SCALES),
-        help="experiment scale preset (default: smoke)",
+        metavar="SCALE[,SCALE...]",
+        help=_scale_help(
+            "; comma-separate rungs to profile each in turn, e.g. 'smoke,large'"
+        ),
     )
     perf_parser.add_argument("--seed", type=int, default=0, help="root seed")
     perf_parser.add_argument(
@@ -597,20 +611,32 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_perf(args: argparse.Namespace) -> int:
+    rungs = [name.strip() for name in args.scale.split(",") if name.strip()]
+    if not rungs:
+        raise ExperimentError(f"no scale rungs in --scale {args.scale!r}")
+    for rung in rungs:
+        get_scale(rung)  # unknown rungs get the one-line error up front
     results = []
-    for experiment_id in _requested_ids(args.experiments):
-        result = profile_experiment(
-            experiment_id,
-            scale=args.scale,
-            seed=args.seed,
-            repeats=args.repeats,
-            top=args.top,
-            warm=not args.cold,
-        )
-        results.append(result)
-        path = write_bench(result, args.out)
-        print(result.summary())
-        print(f"  -> {path}", file=sys.stderr)
+    for index, rung in enumerate(rungs):
+        if index:
+            # a smaller rung's BoundedCache hits must not inflate the next
+            # rung's events/sec, so every rung starts construction-cold
+            clear_all_caches()
+        for experiment_id in _requested_ids(args.experiments):
+            result = profile_experiment(
+                experiment_id,
+                scale=rung,
+                seed=args.seed,
+                repeats=args.repeats,
+                top=args.top,
+                warm=not args.cold,
+            )
+            results.append(result)
+            # multi-rung runs get one BENCH_<id>@<scale>.json per rung so
+            # rungs don't overwrite each other (both names match BENCH_*)
+            path = write_bench(result, args.out, qualify_scale=len(rungs) > 1)
+            print(result.summary())
+            print(f"  -> {path}", file=sys.stderr)
     # gate against the *existing* baseline before any refresh, so pairing
     # --check with --write-baseline (same file) still compares against the
     # previously committed floor instead of this run's own numbers
@@ -627,6 +653,12 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 f"(tolerance {args.tolerance * 100:.0f}%)",
                 file=sys.stderr,
             )
+    # budgeted rungs also gate on their declared ceilings
+    violations = check_budgets(results)
+    if violations:
+        failed = True
+        for violation in violations:
+            print(f"BUDGET {violation.describe()}", file=sys.stderr)
     if args.write_baseline is not None:
         baseline_path = write_baseline(results, args.write_baseline, scale=args.scale)
         print(f"baseline written: {baseline_path}", file=sys.stderr)

@@ -58,6 +58,25 @@ Numeric service parameters may also be ``"$<sweep column>"``; MSPastry
 always runs with interval-based eviction/rejoin plus probed views in
 service mode (the ``rejoin`` flag applies to the lookup workload only).
 
+A spec may also carry a ``[scale]`` table defining a custom rung: any flat
+:class:`~repro.experiments.scales.Scale` field (``pastry_nodes``,
+``perturbed_lookups``, ...), an optional ``base`` rung name to start from
+(default: whatever scale the run is invoked with, so ``--scale smoke``
+still shrinks everything the table doesn't pin), an optional ``name``, and
+a nested ``[scale.budget]`` table with ``max_rss_mb``/``max_wall_s``
+ceilings enforced at run time::
+
+    [scale]
+    base = "default"
+    pastry_nodes = 2000
+    perturbed_lookups = 400
+
+    [scale.budget]
+    max_wall_s = 600.0
+
+Unknown scale fields fail at compose time with a one-line error listing
+the valid ones.
+
 then::
 
     from repro import api
@@ -95,6 +114,7 @@ from repro.experiments.perturbed import (
     build_testbed,
     iter_stage2_lookups,
 )
+from repro.experiments.scales import BudgetSpec, Scale, get_scale
 from repro.experiments.spec import ExperimentSpec, Pipeline, RunContext
 from repro.pastry.rejoin import IntervalRejoinAvailability
 from repro.pastry.views import ProbedViewOracle
@@ -419,6 +439,52 @@ def _check_service_params(
                 _validate_arrival(candidate)
 
 
+_BUDGET_KEYS = ("max_rss_mb", "max_wall_s")
+
+
+def _compose_scale_transform(
+    table: Mapping[str, Any],
+) -> Callable[[Scale], Scale]:
+    """Turn a ``[scale]`` table into the run-time scale hook.
+
+    Validates eagerly: the base rung must resolve, every field must be a
+    known flat scale field (``Scale.evolve`` raises the one-line error
+    listing them), and the budget values must pass ``BudgetSpec``'s
+    checks — all before a testbed is ever built.
+    """
+    base_name = table.get("base")
+    new_name = table.get("name")
+    overrides: dict[str, Any] = {
+        key: tuple(value) if _is_list(value) else value
+        for key, value in table.items()
+        if key not in ("base", "name", "budget")
+    }
+    budget_table = table.get("budget")
+    if budget_table is not None:
+        if not isinstance(budget_table, Mapping):
+            raise ExperimentError("[scale.budget] must be a table")
+        unknown = set(budget_table) - set(_BUDGET_KEYS)
+        if unknown:
+            raise ExperimentError(
+                f"unknown parameter(s) {sorted(unknown)} in the "
+                f"[scale.budget] table; allowed: {list(_BUDGET_KEYS)}"
+            )
+        overrides["budget"] = BudgetSpec(
+            **{key: float(budget_table[key]) for key in budget_table}
+        )
+
+    def transform(resolved: Scale) -> Scale:
+        start = get_scale(str(base_name)) if base_name is not None else resolved
+        evolved = start.evolve(**overrides) if overrides else start
+        if new_name is not None:
+            evolved = evolved.evolve(name=str(new_name))
+        return evolved
+
+    # probe the hook now so a bad table fails at compose time
+    transform(get_scale("default"))
+    return transform
+
+
 def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
     """Build a runnable :class:`ExperimentSpec` from a declarative dict.
 
@@ -504,6 +570,13 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
                 f"0 <= lo < hi <= 1, got {window!r}"
             )
         window = (lo_frac, hi_frac)
+
+    raw_scale = source.get("scale")
+    scale_transform: Optional[Callable[[Scale], Scale]] = None
+    if raw_scale is not None:
+        if not isinstance(raw_scale, Mapping):
+            raise ExperimentError("[scale] must be a table")
+        scale_transform = _compose_scale_transform(raw_scale)
 
     raw_service = source.get("service")
     service_table: Optional[Mapping[str, Any]] = None
@@ -662,4 +735,5 @@ def compose_spec(source: Mapping[str, Any]) -> ExperimentSpec:
         tags=tags,
         figure=None,
         scenario_family=None,
+        scale_transform=scale_transform,
     )

@@ -43,6 +43,7 @@ from typing import Any, Callable, Iterable, Optional, Union
 
 from repro.errors import ExperimentError
 from repro.experiments.base import DEFAULT_STAT_SUFFIXES, ExperimentResult
+from repro.experiments.budget import BudgetGuard
 from repro.experiments.scales import Scale, get_scale
 
 #: the overlay/testbed stage: shared state built once per run
@@ -133,6 +134,10 @@ class ExperimentSpec:
     #: the perturbation-scenario family this experiment sweeps, if any
     #: (joined against the catalogue in ``repro.perturbation.scenario``)
     scenario_family: Optional[str] = None
+    #: optional hook applied to the resolved scale before each run — how a
+    #: composed spec's ``[scale]`` table customises whatever rung the
+    #: caller picked (see :mod:`repro.experiments.compose`)
+    scale_transform: Optional[Callable[[Scale], Scale]] = None
 
     def __post_init__(self) -> None:
         if not self.experiment_id:
@@ -143,14 +148,25 @@ class ExperimentSpec:
             )
 
     def run(self, scale: Union[str, Scale] = "default", seed: int = 0) -> ExperimentResult:
-        """Execute the pipeline: build once, measure every cell, collect rows."""
+        """Execute the pipeline: build once, measure every cell, collect rows.
+
+        The resolved scale's :class:`~repro.experiments.scales.BudgetSpec`
+        is enforced at every stage boundary — see
+        :mod:`repro.experiments.budget`.  Unbudgeted scales (every preset
+        up to ``paper``) pay one no-op call per cell.
+        """
         resolved = get_scale(scale)
+        if self.scale_transform is not None:
+            resolved = self.scale_transform(resolved)
         ctx = RunContext(scale=resolved, seed=validate_seed(seed))
+        guard = BudgetGuard(resolved.name, resolved.budget)
         pipeline = self.pipeline
         built = pipeline.build(ctx)
+        guard.check("the build stage")
         rows: list[tuple] = []
-        for cell in pipeline.cells(ctx, built):
+        for index, cell in enumerate(pipeline.cells(ctx, built)):
             rows.extend(pipeline.measure(ctx, built, cell))
+            guard.check(f"cell {index}")
         notes = pipeline.notes(ctx, built) if callable(pipeline.notes) else pipeline.notes
         return ExperimentResult(
             experiment_id=self.experiment_id,

@@ -9,6 +9,12 @@ honest representation.
 Undirected graphs are validated for symmetry; directed graphs (used for the
 MPIL-over-Pastry adapter, where a Pastry node's outgoing neighbor list is
 its leaf set plus routing-table entries) skip that check.
+
+Two construction paths exist.  The sequence-of-neighbor-lists constructor
+normalises per node in Python — fine up to ~10^4 nodes.  :meth:`from_csr`
+takes ``(indptr, indices)`` arrays directly, validates them with vectorised
+array passes, and materialises the per-node tuples lazily; it is the
+struct-of-arrays path the 10^5-10^6-node scale rungs ride on.
 """
 
 from __future__ import annotations
@@ -32,18 +38,32 @@ class OverlayGraph:
         directed: bool = False,
         validate: bool = True,
     ):
-        self._adj: tuple[tuple[int, ...], ...] = tuple(
+        self._adj_cache: tuple[tuple[int, ...], ...] | None = tuple(
             tuple(sorted(set(int(v) for v in neighbors))) for neighbors in adjacency
         )
+        self._n = len(self._adj_cache)
         self.name = name
         self.directed = directed
         #: per-node degree, computed once (perturbation families rank and
         #: re-rank nodes by degree; len() per probe re-scans nothing here)
-        self._degrees: tuple[int, ...] = tuple(len(ns) for ns in self._adj)
+        self._degrees: tuple[int, ...] = tuple(len(ns) for ns in self._adj_cache)
         self._total_degrees: tuple[int, ...] | None = None
         self._csr: tuple | None = None
         if validate:
             self._validate()
+
+    @property
+    def _adj(self) -> tuple[tuple[int, ...], ...]:
+        """Per-node sorted neighbor tuples, materialised lazily for graphs
+        built from CSR arrays (one ``tolist`` pass, plain Python ints)."""
+        if self._adj_cache is None:
+            indptr, indices = self._csr  # type: ignore[misc]
+            flat = indices.tolist()
+            offsets = indptr.tolist()
+            self._adj_cache = tuple(
+                tuple(flat[offsets[u]:offsets[u + 1]]) for u in range(self._n)
+            )
+        return self._adj_cache
 
     def _validate(self) -> None:
         n = self.n
@@ -80,14 +100,112 @@ class OverlayGraph:
         return cls(adjacency, name=name)
 
     @classmethod
+    def from_csr(
+        cls,
+        indptr: "np.ndarray",
+        indices: "np.ndarray",
+        name: str = "overlay",
+        directed: bool = False,
+        validate: bool = True,
+    ) -> "OverlayGraph":
+        """Build an overlay directly from CSR ``(indptr, indices)`` arrays.
+
+        Rows must be sorted and duplicate-free (:meth:`from_networkx`
+        normalises before calling this).  Validation — range, self-loops,
+        duplicates, and symmetry for undirected graphs — runs as whole-array
+        passes, so constructing a 10^5-node overlay costs milliseconds
+        instead of the seconds the per-node Python normalisation takes.
+        """
+        import numpy as np
+
+        indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indptr.shape[0] == 0:
+            raise OverlayError("indptr must be a 1-d array of n + 1 offsets")
+        n = indptr.shape[0] - 1
+        if int(indptr[0]) != 0 or int(indptr[-1]) != indices.shape[0]:
+            raise OverlayError("indptr does not span the indices array")
+        degrees = np.diff(indptr)
+        if (degrees < 0).any():
+            raise OverlayError("indptr offsets must be non-decreasing")
+        self = cls.__new__(cls)
+        self._adj_cache = None
+        self._n = n
+        self.name = name
+        self.directed = directed
+        self._degrees = tuple(degrees.tolist())
+        self._total_degrees = None
+        self._csr = (indptr, indices)
+        if validate and indices.shape[0]:
+            owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+            if int(indices.min()) < 0 or int(indices.max()) >= n:
+                bad = int(owners[(indices < 0) | (indices >= n)][0])
+                raise OverlayError(f"node {bad} has an out-of-range neighbor")
+            if (indices == owners).any():
+                bad = int(owners[indices == owners][0])
+                raise OverlayError(f"node {bad} has a self-loop")
+            same_row = owners[1:] == owners[:-1]
+            if (same_row & (indices[1:] <= indices[:-1])).any():
+                bad = int(owners[1:][same_row & (indices[1:] <= indices[:-1])][0])
+                raise OverlayError(
+                    f"node {bad} has unsorted or duplicate neighbors"
+                )
+            if not directed:
+                forward = owners * n + indices
+                backward = indices * n + owners
+                forward.sort()
+                backward.sort()
+                if not np.array_equal(forward, backward):
+                    raise OverlayError("undirected overlay is asymmetric")
+        return self
+
+    @classmethod
     def from_networkx(cls, graph, name: str = "overlay") -> "OverlayGraph":
         """Convert a networkx graph whose nodes are 0..n-1."""
+        import numpy as np
+
         n = graph.number_of_nodes()
         nodes = set(graph.nodes)
         if nodes != set(range(n)):
             raise OverlayError("networkx graph nodes must be exactly 0..n-1")
-        adjacency = [list(graph.neighbors(u)) for u in range(n)]
-        return cls(adjacency, name=name, directed=graph.is_directed())
+        adj = graph.adj
+        degrees = np.fromiter(
+            (len(adj[u]) for u in range(n)), dtype=np.int64, count=n
+        )
+        total = int(degrees.sum())
+        indices = np.fromiter(
+            (v for u in range(n) for v in adj[u]), dtype=np.int64, count=total
+        )
+        owners = np.repeat(np.arange(n, dtype=np.int64), degrees)
+        order = np.lexsort((indices, owners))
+        indices = indices[order]
+        owners = owners[order]
+        # drop duplicate stubs (multigraphs); self-loops are rejected below
+        if total:
+            keep = np.empty(total, dtype=bool)
+            keep[0] = True
+            keep[1:] = (owners[1:] != owners[:-1]) | (indices[1:] != indices[:-1])
+            if not keep.all():
+                indices = indices[keep]
+                owners = owners[keep]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(owners, minlength=n), out=indptr[1:])
+        return cls.from_csr(
+            indptr, indices, name=name, directed=graph.is_directed()
+        )
+
+    def renamed(self, name: str) -> "OverlayGraph":
+        """A copy under a new name sharing every frozen structure (the
+        generators' final rename used to re-normalise all n neighbor lists)."""
+        clone = type(self).__new__(type(self))
+        clone._adj_cache = self._adj_cache
+        clone._n = self._n
+        clone.name = name
+        clone.directed = self.directed
+        clone._degrees = self._degrees
+        clone._total_degrees = self._total_degrees
+        clone._csr = self._csr
+        return clone
 
     def to_networkx(self):
         """Export to networkx (imported lazily)."""
@@ -104,7 +222,7 @@ class OverlayGraph:
 
     @property
     def n(self) -> int:
-        return len(self._adj)
+        return self._n
 
     def neighbors(self, node: int) -> tuple[int, ...]:
         return self._adj[node]
@@ -183,7 +301,13 @@ class OverlayGraph:
         return sum(self._degrees) / self.n
 
     def is_connected(self) -> bool:
-        """BFS connectivity test (weak connectivity for directed graphs)."""
+        """Connectivity test (weak connectivity for directed graphs).
+
+        Undirected graphs run a vectorised frontier expansion over the CSR
+        arrays — whole-frontier neighbor gathers instead of a per-node
+        Python BFS — so the generators' connectivity retries stay cheap at
+        10^5+ nodes.
+        """
         if self.n == 0:
             return True
         if self.directed:
@@ -192,18 +316,32 @@ class OverlayGraph:
                 for v in self._adj[u]:
                     undirected[u].add(v)
                     undirected[v].add(u)
-            adj: Sequence[Iterable[int]] = undirected
-        else:
-            adj = self._adj
-        seen = {0}
-        frontier = collections.deque([0])
-        while frontier:
-            u = frontier.popleft()
-            for v in adj[u]:
-                if v not in seen:
-                    seen.add(v)
-                    frontier.append(v)
-        return len(seen) == self.n
+            seen = {0}
+            frontier = collections.deque([0])
+            while frontier:
+                u = frontier.popleft()
+                for v in undirected[u]:
+                    if v not in seen:
+                        seen.add(v)
+                        frontier.append(v)
+            return len(seen) == self.n
+        import numpy as np
+
+        indptr, indices = self.adjacency_arrays()
+        visited = np.zeros(self.n, dtype=bool)
+        visited[0] = True
+        frontier = np.array([0], dtype=np.int64)
+        reached = 1
+        while frontier.size:
+            starts = indptr[frontier]
+            ends = indptr[frontier + 1]
+            gathered = [indices[s:e] for s, e in zip(starts.tolist(), ends.tolist())]
+            neighbors = np.concatenate(gathered) if gathered else indices[:0]
+            fresh = np.unique(neighbors[~visited[neighbors]])
+            visited[fresh] = True
+            reached += fresh.shape[0]
+            frontier = fresh
+        return reached == self.n
 
     def components(self) -> list[list[int]]:
         """Connected components (undirected view), largest first."""

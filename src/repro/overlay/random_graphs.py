@@ -48,11 +48,7 @@ def fixed_degree_random_graph(n: int, degree: int = 100, seed: object = 0) -> Ov
     """The paper's "random topology": every node has exactly ``degree``
     neighbors chosen at random (default 100, the paper's setting)."""
     overlay = random_regular_graph(n, degree, seed=seed)
-    return OverlayGraph(
-        [overlay.neighbors(u) for u in range(n)],
-        name=f"random-{degree}",
-        validate=False,
-    )
+    return overlay.renamed(f"random-{degree}")
 
 
 def gnp_random_graph(n: int, p: float, seed: object = 0) -> OverlayGraph:

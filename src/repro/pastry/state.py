@@ -18,8 +18,13 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.identifiers import Identifier
+from repro.core.soa import pack_digit_matrix
 from repro.errors import ConfigurationError
 from repro.sim.rng import derive_rng
+
+#: memory ceiling for one vectorised table-build pass; results are
+#: identical for any value >= 1 (tests shrink it to force multi-block runs)
+_BUILD_BLOCK_BYTES = 48 << 20
 
 
 class PastryRing:
@@ -51,6 +56,15 @@ class PastryRing:
         #: attribute hop through ``ids[node].value`` per routing step)
         self.values: tuple[int, ...] = tuple(values)
         self._prefix_cache: dict[tuple[int, int], int] = {}
+        self._digit_matrix: np.ndarray | None = None
+
+    @property
+    def digit_matrix(self) -> np.ndarray:
+        """The shared ``(n, M)`` uint8 digit matrix of the ring's ids,
+        built once (struct-of-arrays view shared by table construction)."""
+        if self._digit_matrix is None:
+            self._digit_matrix = pack_digit_matrix(self.ids)
+        return self._digit_matrix
 
     def prefix_len(self, node: int, key: Identifier) -> int:
         """Memoised ``ids[node].prefix_match_len(key)`` (the per-hop digit
@@ -134,44 +148,74 @@ def build_routing_tables(
     (proximity neighbor selection); otherwise the scan order is shuffled
     per node so the pick is pseudo-random but deterministic.
 
-    Vectorised: per owner, one numpy pass over the shared digit matrix
-    yields every candidate's (prefix length, next digit) cell, and a single
-    stable sort realises the selection rule — first hit per cell in scan
-    order, which for the latency path (ascending scan, strict-``<``
-    replacement) is exactly "lowest latency, earliest index on ties".
+    Fully vectorised and blocked: owners are processed in blocks sized to a
+    fixed broadcast budget.  One ``(B, n, M)`` comparison against the shared
+    digit matrix yields every candidate's (prefix length, next digit) cell
+    for the whole block, and a single cross-owner ``lexsort`` realises the
+    selection rule — first hit per (owner, cell) in scan order, which for
+    the latency path (ascending stable scan, strict-``<`` replacement) is
+    exactly "lowest latency, earliest index on ties".  The per-owner
+    ``rng.shuffle`` draws happen in owner order before each block's
+    broadcast pass, so the RNG stream — and therefore every table — is
+    byte-identical to the per-owner implementation.
     """
-    ids = ring.ids
     n = ring.n
     rng = derive_rng(seed, "pastry-tables", n)
-    base_order = list(range(n))
     base = ring.space.base
-    digit_matrix = np.stack([identifier.digits_array for identifier in ids])
-    all_rows = np.arange(n)
+    digit_matrix = ring.digit_matrix
+    num_digits = digit_matrix.shape[1] if n else 0
+    # owners per broadcast pass, sized so the (B, n, M) mismatch tensor
+    # stays around _BUILD_BLOCK_BYTES however large the ring is
+    block = max(1, min(n, _BUILD_BLOCK_BYTES // max(1, n * num_digits)))
+    arange_n = np.arange(n, dtype=np.int64)
+    sentinel = num_digits * base  # parks each owner's self row off-table
+    latency_row = getattr(latency, "latency_row", None) if latency is not None else None
     tables: list[dict[tuple[int, int], int]] = []
-    for i in range(n):
-        mismatch = digit_matrix != digit_matrix[i]
-        prefix = mismatch.argmax(axis=1)  # identifiers are unique, so every
-        # j != i has a mismatch; row i itself is all-False (prefix 0) and is
-        # dropped from the scan order below
-        cells = prefix * base + digit_matrix[all_rows, prefix]
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        width = stop - start
         if latency is None:
-            order = base_order.copy()
-            rng.shuffle(order)
-            order_arr = np.asarray(order)
+            orders = np.empty((width, n), dtype=np.int64)
+            for k in range(width):
+                order = list(range(n))
+                rng.shuffle(order)
+                orders[k] = order
         else:
-            row = getattr(latency, "latency_row", None)
-            latencies = (
-                row(i, n) if row is not None
+            latencies = np.asarray([
+                latency_row(i, n) if latency_row is not None
                 else [latency.latency(i, j) for j in range(n)]
-            )
-            order_arr = np.argsort(np.asarray(latencies), kind="stable")
-        order_arr = order_arr[order_arr != i]
-        _cells, first = np.unique(cells[order_arr], return_index=True)
-        table: dict[tuple[int, int], int] = {}
-        for position in first.tolist():
-            j = int(order_arr[position])
-            table[(int(prefix[j]), int(digit_matrix[j, prefix[j]]))] = j
-        tables.append(table)
+                for i in range(start, stop)
+            ])
+            orders = np.argsort(latencies, axis=1, kind="stable")
+        # rank[k, j] = position of candidate j in owner (start+k)'s scan
+        ranks = np.empty((width, n), dtype=np.int64)
+        ranks[np.arange(width)[:, None], orders] = arange_n[None, :]
+        mismatch = digit_matrix[None, :, :] != digit_matrix[start:stop, None, :]
+        prefix = mismatch.argmax(axis=2)  # identifiers are unique, so every
+        # j != owner has a mismatch; each owner's own row is all-False
+        # (prefix 0) and is parked on the sentinel cell below
+        cells = prefix * np.int64(base) + digit_matrix[arange_n[None, :], prefix]
+        cells[np.arange(width), np.arange(start, stop)] = sentinel
+        # first hit per (owner, cell): sort by cell then rank, keep the
+        # first row of every run — min rank == earliest in scan order
+        keys = (cells + np.int64(sentinel + 1) * np.arange(width)[:, None]).ravel()
+        flat_ranks = ranks.ravel()
+        by_cell = np.lexsort((flat_ranks, keys))
+        sorted_keys = keys[by_cell]
+        is_first = np.empty(sorted_keys.shape[0], dtype=bool)
+        if sorted_keys.shape[0]:
+            is_first[0] = True
+            is_first[1:] = sorted_keys[1:] != sorted_keys[:-1]
+        winners = by_cell[is_first]
+        winner_cells = (keys[winners] % np.int64(sentinel + 1)).tolist()
+        block_tables = [
+            {} for _ in range(width)
+        ]  # type: list[dict[tuple[int, int], int]]
+        for flat, cell in zip(winners.tolist(), winner_cells):
+            if cell == sentinel:
+                continue
+            block_tables[flat // n][divmod(cell, base)] = flat % n
+        tables.extend(block_tables)
     return tables
 
 

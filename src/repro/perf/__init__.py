@@ -25,7 +25,9 @@ from repro.perf.profiler import (
 )
 from repro.perf.regression import (
     BaselineEntry,
+    BudgetViolation,
     Regression,
+    check_budgets,
     check_regressions,
     load_baseline,
     write_baseline,
@@ -34,9 +36,11 @@ from repro.perf.regression import (
 __all__ = [
     "BaselineEntry",
     "BenchResult",
+    "BudgetViolation",
     "HotSpot",
     "Regression",
     "bench_path",
+    "check_budgets",
     "check_regressions",
     "load_baseline",
     "load_bench",

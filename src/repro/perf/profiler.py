@@ -30,17 +30,20 @@ import json
 import pathlib
 import pstats
 import time
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Optional, Union
 
 from repro.errors import ExperimentError
+from repro.experiments.budget import current_rss_mb
 from repro.experiments.registry import get_experiment, run_experiment
-from repro.experiments.scales import get_scale
+from repro.experiments.scales import Scale, get_scale
 from repro.experiments.store import git_revision
 from repro.sim.engine import events_processed_total, reset_events_processed
 from repro.util.cache import clear_all_caches
 
-#: bumped on any incompatible BENCH_<id>.json layout change
-SCHEMA_VERSION = 1
+#: bumped on any incompatible BENCH_<id>.json layout change; version 2
+#: added the scale-budget fields and peak RSS (version-1 files still load,
+#: with those fields absent)
+SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +84,13 @@ class BenchResult:
     hotspots: tuple[HotSpot, ...]
     git_rev: str
     schema_version: int = SCHEMA_VERSION
+    #: largest resident set any sample saw during the measured runs
+    #: (``None`` off-Linux, and in version-1 files)
+    peak_rss_mb: Optional[float] = None
+    #: the profiled scale's budget ceilings, for the bench gate
+    #: (``None`` = the scale is unbudgeted)
+    budget_max_rss_mb: Optional[float] = None
+    budget_max_wall_s: Optional[float] = None
 
     def summary(self) -> str:
         """One human line: id, throughput, wall clock."""
@@ -98,11 +108,16 @@ class BenchResult:
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "BenchResult":
         version = int(payload.get("schema_version", 0))
-        if version != SCHEMA_VERSION:
+        if not 1 <= version <= SCHEMA_VERSION:
             raise ExperimentError(
                 f"BENCH schema version {version} unsupported "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"(this build reads versions 1..{SCHEMA_VERSION})"
             )
+
+        def opt_float(key: str) -> Optional[float]:
+            value = payload.get(key)
+            return None if value is None else float(value)
+
         return cls(
             experiment_id=str(payload["experiment_id"]),
             scale=str(payload["scale"]),
@@ -118,6 +133,9 @@ class BenchResult:
             ),
             git_rev=str(payload["git_rev"]),
             schema_version=version,
+            peak_rss_mb=opt_float("peak_rss_mb"),
+            budget_max_rss_mb=opt_float("budget_max_rss_mb"),
+            budget_max_wall_s=opt_float("budget_max_wall_s"),
         )
 
 
@@ -159,7 +177,7 @@ def _collect_hotspots(profile: cProfile.Profile, top: int) -> tuple[HotSpot, ...
 
 def profile_experiment(
     experiment_id: str,
-    scale: str = "smoke",
+    scale: Union[str, Scale] = "smoke",
     seed: int = 0,
     repeats: int = 3,
     top: int = 10,
@@ -170,28 +188,34 @@ def profile_experiment(
 
     The cProfile pass runs *after* the timed repeats (instrumentation
     slows function-call-heavy code several-fold, so it must never share a
-    clock with them).
+    clock with them).  The resolved scale's budget ceilings and the peak
+    resident set observed across the timed repeats land in the result so
+    the bench gate can check measurements against the budget.
     """
     get_experiment(experiment_id)  # raises on unknown ids
-    get_scale(scale)  # raises on unknown scales
+    resolved = get_scale(scale)  # raises on unknown scales
     if repeats < 1:
         raise ExperimentError(f"repeats must be >= 1, got {repeats}")
     if top < 0:
         raise ExperimentError(f"top must be >= 0, got {top}")
 
     if warm:
-        run_experiment(experiment_id, scale=scale, seed=seed)  # prime caches
+        run_experiment(experiment_id, scale=resolved, seed=seed)  # prime caches
 
     walls: list[float] = []
     counts: list[int] = []
+    peak_rss: Optional[float] = None
     for _ in range(repeats):
         if not warm:
             clear_all_caches()
         reset_events_processed()
         started = time.perf_counter()
-        run_experiment(experiment_id, scale=scale, seed=seed)
+        run_experiment(experiment_id, scale=resolved, seed=seed)
         walls.append(time.perf_counter() - started)
         counts.append(events_processed_total())
+        rss = current_rss_mb()
+        if rss is not None and (peak_rss is None or rss > peak_rss):
+            peak_rss = rss
     if len(set(counts)) != 1:
         raise ExperimentError(
             f"{experiment_id} executed varying event counts across repeats "
@@ -206,14 +230,14 @@ def profile_experiment(
             # construction work the timed repeats measured
         profile = cProfile.Profile()
         profile.enable()
-        run_experiment(experiment_id, scale=scale, seed=seed)
+        run_experiment(experiment_id, scale=resolved, seed=seed)
         profile.disable()
         hotspots = _collect_hotspots(profile, top)
 
     best = min(walls)
     return BenchResult(
         experiment_id=experiment_id,
-        scale=scale,
+        scale=resolved.name,
         seed=seed,
         repeats=repeats,
         warm=warm,
@@ -223,17 +247,38 @@ def profile_experiment(
         events_per_sec=round(counts[0] / best, 3) if best > 0 else 0.0,
         hotspots=hotspots,
         git_rev=git_revision(),
+        peak_rss_mb=None if peak_rss is None else round(peak_rss, 1),
+        budget_max_rss_mb=resolved.budget.max_rss_mb,
+        budget_max_wall_s=resolved.budget.max_wall_s,
     )
 
 
-def bench_path(out_dir: Union[str, pathlib.Path], experiment_id: str) -> pathlib.Path:
-    """Where :func:`write_bench` puts one experiment's BENCH file."""
-    return pathlib.Path(out_dir) / f"BENCH_{experiment_id}.json"
+def bench_path(
+    out_dir: Union[str, pathlib.Path],
+    experiment_id: str,
+    scale: Optional[str] = None,
+) -> pathlib.Path:
+    """Where :func:`write_bench` puts one experiment's BENCH file.
+
+    ``scale`` qualifies the name (``BENCH_<id>@<scale>.json``) so
+    multi-rung profiling runs keep one file per rung; without it the
+    historical ``BENCH_<id>.json`` name is used.  Both spellings match the
+    CI artifact glob ``BENCH_*.json``.
+    """
+    suffix = "" if scale is None else f"@{scale}"
+    return pathlib.Path(out_dir) / f"BENCH_{experiment_id}{suffix}.json"
 
 
-def write_bench(result: BenchResult, out_dir: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Persist one bench result as ``<out_dir>/BENCH_<id>.json``."""
-    path = bench_path(out_dir, result.experiment_id)
+def write_bench(
+    result: BenchResult,
+    out_dir: Union[str, pathlib.Path],
+    qualify_scale: bool = False,
+) -> pathlib.Path:
+    """Persist one bench result as ``<out_dir>/BENCH_<id>.json`` (or the
+    scale-qualified name when ``qualify_scale`` is set)."""
+    path = bench_path(
+        out_dir, result.experiment_id, scale=result.scale if qualify_scale else None
+    )
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(result.to_dict(), sort_keys=True, indent=2) + "\n")
     return path

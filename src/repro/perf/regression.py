@@ -14,6 +14,15 @@ Event-count changes are *not* regressions (optimisations legitimately
 reshape what a run executes); they are surfaced on the report entry so a
 reviewer can see when baseline and measurement are counting different
 work.
+
+Baselines are keyed per rung: schema version 2 stores entries under
+``<experiment_id>@<scale>`` so one file can gate several ladder rungs at
+once (``fig9@smoke`` and ``fig9@large`` hold different floors).  Version-1
+files (bare-id keys) still load and gate every rung with the same floor.
+Separately from throughput floors, :func:`check_budgets` compares each
+measurement against the budget its scale declared — a budgeted rung whose
+measured wall clock or peak RSS exceeds the ceiling fails the bench gate
+even if its events/sec look fine.
 """
 
 from __future__ import annotations
@@ -26,8 +35,10 @@ from typing import Any, Iterable, Mapping, Union
 from repro.errors import ExperimentError
 from repro.perf.profiler import BenchResult
 
-#: bumped on any incompatible baseline.json layout change
-BASELINE_SCHEMA_VERSION = 1
+#: bumped on any incompatible baseline.json layout change; version 2
+#: introduced per-rung ``<id>@<scale>`` entry keys (version-1 files with
+#: bare-id keys still load)
+BASELINE_SCHEMA_VERSION = 2
 
 
 @dataclasses.dataclass(frozen=True)
@@ -70,16 +81,20 @@ class Regression:
 
 
 def load_baseline(path: Union[str, pathlib.Path]) -> dict[str, BaselineEntry]:
-    """Read a committed baseline file into per-experiment entries."""
+    """Read a committed baseline file into per-entry reference numbers.
+
+    Keys are ``<id>@<scale>`` in version-2 files and bare experiment ids
+    in version-1 files; :func:`check_regressions` resolves both.
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise ExperimentError(f"no baseline file at {path}")
     payload = json.loads(path.read_text())
     version = int(payload.get("schema_version", 0))
-    if version != BASELINE_SCHEMA_VERSION:
+    if not 1 <= version <= BASELINE_SCHEMA_VERSION:
         raise ExperimentError(
             f"baseline schema version {version} unsupported "
-            f"(this build reads version {BASELINE_SCHEMA_VERSION})"
+            f"(this build reads versions 1..{BASELINE_SCHEMA_VERSION})"
         )
     entries: dict[str, BaselineEntry] = {}
     for experiment_id, entry in payload["entries"].items():
@@ -96,9 +111,11 @@ def write_baseline(
     path: Union[str, pathlib.Path],
     scale: str,
 ) -> pathlib.Path:
-    """Write (or overwrite) a baseline file from fresh bench results."""
+    """Write (or overwrite) a version-2 baseline file from fresh bench
+    results, one ``<id>@<scale>`` entry per measurement; ``scale`` is the
+    informational top-level label (the rung, or a comma list of rungs)."""
     entries = {
-        result.experiment_id: BaselineEntry(
+        f"{result.experiment_id}@{result.scale}": BaselineEntry(
             events_per_sec=result.events_per_sec,
             events_processed=result.events_processed,
             wall_clock_best=result.wall_clock_best,
@@ -136,7 +153,10 @@ def check_regressions(
         baseline = load_baseline(baseline)
     regressions: list[Regression] = []
     for result in results:
-        entry = baseline.get(result.experiment_id)
+        # per-rung entry first (schema v2), bare id as the v1 fallback
+        entry = baseline.get(f"{result.experiment_id}@{result.scale}")
+        if entry is None:
+            entry = baseline.get(result.experiment_id)
         if entry is None:
             continue
         floor = entry.events_per_sec * (1.0 - tolerance)
@@ -153,3 +173,64 @@ def check_regressions(
                 )
             )
     return regressions
+
+
+@dataclasses.dataclass(frozen=True)
+class BudgetViolation:
+    """One measurement that exceeded its scale's declared budget."""
+
+    experiment_id: str
+    scale: str
+    resource: str  #: ``"wall clock"`` or ``"peak RSS"``
+    measured: float
+    ceiling: float
+    unit: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.experiment_id}@{self.scale}: {self.resource} "
+            f"{self.measured:.1f}{self.unit} exceeds the scale's budget of "
+            f"{self.ceiling:g}{self.unit}"
+        )
+
+
+def check_budgets(results: Iterable[BenchResult]) -> list[BudgetViolation]:
+    """Measurements that blew their scale's budget ceilings.
+
+    Uses the budget the profiler recorded into each
+    :class:`~repro.perf.profiler.BenchResult`: mean wall clock against
+    ``max_wall_s`` and observed peak RSS against ``max_rss_mb``.
+    Unbudgeted scales (and version-1 BENCH files) gate nothing.
+    """
+    violations: list[BudgetViolation] = []
+    for result in results:
+        if (
+            result.budget_max_wall_s is not None
+            and result.wall_clock_mean > result.budget_max_wall_s
+        ):
+            violations.append(
+                BudgetViolation(
+                    experiment_id=result.experiment_id,
+                    scale=result.scale,
+                    resource="wall clock",
+                    measured=result.wall_clock_mean,
+                    ceiling=result.budget_max_wall_s,
+                    unit="s",
+                )
+            )
+        if (
+            result.budget_max_rss_mb is not None
+            and result.peak_rss_mb is not None
+            and result.peak_rss_mb > result.budget_max_rss_mb
+        ):
+            violations.append(
+                BudgetViolation(
+                    experiment_id=result.experiment_id,
+                    scale=result.scale,
+                    resource="peak RSS",
+                    measured=result.peak_rss_mb,
+                    ceiling=result.budget_max_rss_mb,
+                    unit="MiB",
+                )
+            )
+    return violations

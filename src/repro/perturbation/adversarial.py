@@ -17,6 +17,8 @@ import dataclasses
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.perturbation.base import ProcessBase
 from repro.sim.rng import derive_rng, validate_seed
@@ -97,6 +99,9 @@ class AdversarialRemoval(ProcessBase):
             rng = derive_rng(seed, "adversarial-random", self.num_nodes, config.label)
             removed = rng.sample(eligible, count) if count else []
         self.removed = frozenset(removed)
+        self._removed_array = np.fromiter(
+            sorted(self.removed), dtype=np.int64, count=len(self.removed)
+        )
 
     @classmethod
     def from_overlay(
@@ -120,6 +125,13 @@ class AdversarialRemoval(ProcessBase):
         if node not in self.removed:
             return True
         return time < self.config.start
+
+    def online_mask(self, time: float) -> np.ndarray:
+        """Bulk bitmap: one scatter over the removed-node index array."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        if time >= self.config.start:
+            mask[self._removed_array] = False
+        return mask
 
     def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
         """One unbounded window ``[start, inf)`` per removed node."""

@@ -33,6 +33,8 @@ from __future__ import annotations
 
 from typing import Protocol, Sequence, runtime_checkable
 
+import numpy as np
+
 Interval = tuple[float, float]
 
 
@@ -56,7 +58,8 @@ class ProcessBase:
     """Shared diagnostics for availability processes.
 
     Subclasses provide ``num_nodes`` and ``is_online``; this base adds the
-    fraction-online diagnostic every scenario exposes.
+    bulk availability bitmap (:meth:`online_mask`) and the fraction-online
+    diagnostic every scenario exposes.
     """
 
     num_nodes: int
@@ -64,10 +67,24 @@ class ProcessBase:
     def is_online(self, node: int, time: float) -> bool:  # pragma: no cover
         raise NotImplementedError
 
+    def online_mask(self, time: float) -> np.ndarray:
+        """Availability of *every* node at ``time`` as one boolean bitmap.
+
+        The bulk view :class:`repro.core.soa.NodeArrays` liveness refreshes
+        and whole-population diagnostics consume.  This default evaluates
+        the point query per node; subclasses override it with vectorised
+        implementations that are exactly equivalent (same floats, same lazy
+        RNG draws).  Callers must treat the returned array as read-only.
+        """
+        return np.fromiter(
+            (self.is_online(node, time) for node in range(self.num_nodes)),
+            dtype=bool,
+            count=self.num_nodes,
+        )
+
     def online_fraction(self, time: float) -> float:
         """Fraction of nodes online at ``time`` (diagnostics)."""
-        online = sum(1 for node in range(self.num_nodes) if self.is_online(node, time))
-        return online / self.num_nodes
+        return int(self.online_mask(time).sum()) / self.num_nodes
 
 
 def merge_intervals(intervals: Sequence[Interval]) -> list[Interval]:

@@ -24,6 +24,8 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.perturbation.base import ProcessBase
 from repro.sim.rng import derive_rng, validate_seed
@@ -137,6 +139,9 @@ class RegionalOutage(ProcessBase):
         )
         self._start = config.start
         self._end = config.end
+        self._affected_array = np.fromiter(
+            sorted(self._affected), dtype=np.int64, count=len(self._affected)
+        )
 
     @property
     def num_regions(self) -> int:
@@ -152,6 +157,13 @@ class RegionalOutage(ProcessBase):
         if node in self._affected:
             return not (self._start <= time < self._end)
         return True
+
+    def online_mask(self, time: float) -> np.ndarray:
+        """Bulk bitmap: one scatter over the affected-node index array."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        if self._start <= time < self._end:
+            mask[self._affected_array] = False
+        return mask
 
     def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
         """The single outage window, for affected nodes that see it."""

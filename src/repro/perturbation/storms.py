@@ -21,6 +21,8 @@ from __future__ import annotations
 
 import dataclasses
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.perturbation.base import ProcessBase
 from repro.sim.rng import derive_rng, validate_seed
@@ -92,6 +94,12 @@ class JoinStormSchedule(ProcessBase):
             + (stagger_rng.uniform(0.0, config.stagger) if config.stagger else 0.0)
             for node in late
         }
+        self._late_array = np.fromiter(
+            self._arrival, dtype=np.int64, count=len(self._arrival)
+        )
+        self._arrival_array = np.fromiter(
+            self._arrival.values(), dtype=np.float64, count=len(self._arrival)
+        )
 
     @property
     def late_joiners(self) -> frozenset[int]:
@@ -108,6 +116,13 @@ class JoinStormSchedule(ProcessBase):
         if arrival is None or time < 0:
             return True
         return time >= arrival
+
+    def online_mask(self, time: float) -> np.ndarray:
+        """Bulk bitmap: one scatter of the not-yet-arrived late joiners."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        if time >= 0:
+            mask[self._late_array[self._arrival_array > time]] = False
+        return mask
 
     def offline_intervals(self, node: int, until: float) -> list[tuple[float, float]]:
         """One absence window ``[0, arrival)`` for each late joiner."""

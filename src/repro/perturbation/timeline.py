@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.perturbation.base import AvailabilityProcess, ProcessBase, merge_intervals
 
@@ -45,6 +47,26 @@ class ScenarioTimeline(ProcessBase):
         self.always_online = frozenset.intersection(
             *(frozenset(p.always_online) for p in self.processes)
         )
+        self._mask_memo: tuple[float, np.ndarray] | None = None
+
+    def online_mask(self, time: float) -> np.ndarray:
+        """Bulk bitmap: AND of the component bitmaps, computed once per
+        distinct query time.
+
+        Windowed consumers (the :class:`repro.core.soa.NodeArrays` liveness
+        refresh, per-window diagnostics) query the same instant for the
+        whole population, so the timeline memoises the last window's bitmap
+        instead of running ``num_nodes * num_processes`` point queries per
+        refresh.  Callers must treat the returned array as read-only.
+        """
+        memo = self._mask_memo
+        if memo is not None and memo[0] == time:
+            return memo[1]
+        mask = _component_mask(self.processes[0], time, self.num_nodes)
+        for process in self.processes[1:]:
+            mask &= _component_mask(process, time, self.num_nodes)
+        self._mask_memo = (time, mask)
+        return mask
 
     def is_online(self, node: int, time: float) -> bool:
         """Online iff online under every composed process."""
@@ -63,3 +85,16 @@ class ScenarioTimeline(ProcessBase):
     def __repr__(self) -> str:
         inner = ", ".join(type(p).__name__ for p in self.processes)
         return f"ScenarioTimeline([{inner}], n={self.num_nodes})"
+
+
+def _component_mask(process, time: float, num_nodes: int) -> np.ndarray:
+    """A component's bulk bitmap; point-query fallback for processes that
+    implement only the :class:`AvailabilityProcess` protocol."""
+    bulk = getattr(process, "online_mask", None)
+    if bulk is not None:
+        return np.array(bulk(time), dtype=bool, copy=True)
+    return np.fromiter(
+        (process.is_online(node, time) for node in range(num_nodes)),
+        dtype=bool,
+        count=num_nodes,
+    )

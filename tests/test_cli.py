@@ -29,9 +29,15 @@ class TestParser:
         assert args.scale == "smoke"
         assert args.seed == 3
 
-    def test_unknown_scale_rejected(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "fig7", "--scale", "galactic"])
+    def test_unknown_scale_rejected(self, capsys):
+        # not an argparse choices error anymore (registered rungs must
+        # resolve too): the run resolves the rung and fails with the
+        # one-line error listing every known rung
+        code = main(["run", "fig7", "--scale", "galactic"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown scale 'galactic'" in err
+        assert "large" in err and "massive" in err
 
     def test_sweep_defaults(self):
         args = build_parser().parse_args(["sweep", "fig9"])

@@ -176,9 +176,9 @@ class TestRegressionGate:
         path = tmp_path / "baseline.json"
         write_baseline([make_bench(), make_bench("ext-outage", 2000.0)], path, "smoke")
         entries = load_baseline(path)
-        assert set(entries) == {"fig9", "ext-outage"}
-        assert entries["fig9"].events_per_sec == 1000.0
-        assert entries["ext-outage"].events_processed == 500
+        assert set(entries) == {"fig9@smoke", "ext-outage@smoke"}
+        assert entries["fig9@smoke"].events_per_sec == 1000.0
+        assert entries["ext-outage@smoke"].events_processed == 500
 
     def test_baseline_errors(self, tmp_path):
         with pytest.raises(ExperimentError, match="no baseline"):
@@ -194,7 +194,7 @@ class TestRegressionGate:
 
     def test_committed_baseline_is_readable(self):
         entries = load_baseline("benchmarks/baseline.json")
-        assert {"fig9", "ext-outage"} <= set(entries)
+        assert {"fig9@smoke", "ext-outage@smoke"} <= set(entries)
 
 
 class TestPerfCLI:
@@ -218,7 +218,7 @@ class TestPerfCLI:
              "--out", str(out), "--write-baseline", str(baseline)]
         )
         assert code == 0
-        assert load_baseline(baseline)["tab1"].events_per_sec > 0
+        assert load_baseline(baseline)["tab1@smoke"].events_per_sec > 0
         # measured vs its own baseline: trivially within tolerance
         code = main(
             ["perf", "tab1", "--scale", "smoke", "--repeats", "2", "--top", "0",
@@ -228,7 +228,7 @@ class TestPerfCLI:
         assert "no regressions" in capsys.readouterr().err
         # an absurdly fast baseline must trip the gate
         payload = json.loads(baseline.read_text())
-        payload["entries"]["tab1"]["events_per_sec"] = 1e12
+        payload["entries"]["tab1@smoke"]["events_per_sec"] = 1e12
         baseline.write_text(json.dumps(payload))
         code = main(
             ["perf", "tab1", "--scale", "smoke", "--repeats", "1", "--top", "0",
@@ -271,7 +271,8 @@ class TestPerfCLI:
         # the same file was refreshed afterwards
         assert code == 1
         assert "REGRESSION" in capsys.readouterr().err
-        assert load_baseline(baseline)["tab1"].events_per_sec < 1e12
+        # the refreshed file is schema v2, keyed per rung
+        assert load_baseline(baseline)["tab1@smoke"].events_per_sec < 1e12
 
 
 # ---------------------------------------------------------------------------

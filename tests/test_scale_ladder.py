@@ -1,0 +1,525 @@
+"""Tests for the scale ladder: grouped Scale sub-specs, the rung
+registry, run budgets, the SoA node-array core, bulk availability
+bitmaps, and the multi-rung perf plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.identifiers import IdSpace
+from repro.core.metric import (
+    CommonDigitsMetric,
+    NeighborMetricTable,
+    PrefixLengthMetric,
+    SuffixLengthMetric,
+)
+from repro.core.soa import NodeArrays, pack_digit_matrix
+from repro.errors import ExperimentError
+from repro.experiments.cli import main
+from repro.experiments.compose import compose_spec
+from repro.experiments.registry import run_experiment
+from repro.experiments.scales import (
+    SCALES,
+    BudgetSpec,
+    Scale,
+    ServiceSpec,
+    available_scales,
+    get_scale,
+    register_scale,
+    unregister_scale,
+)
+from repro.overlay.random_graphs import fixed_degree_random_graph
+from repro.pastry import state as pastry_state
+from repro.perf.profiler import BenchResult, profile_experiment
+from repro.perf.regression import check_budgets
+from repro.perturbation.adversarial import AdversarialRemoval, AdversarialRemovalConfig
+from repro.perturbation.churn import ChurnConfig, ChurnSchedule
+from repro.perturbation.flapping import FlappingConfig, FlappingSchedule
+from repro.perturbation.outage import RegionalOutage, RegionalOutageConfig
+from repro.perturbation.storms import JoinStormConfig, JoinStormSchedule
+from repro.perturbation.timeline import ScenarioTimeline
+from repro.perturbation.waves import ChurnWaveConfig, ChurnWaveSchedule
+from repro.sim.latency import UniformRandomLatency
+from repro.sim.rng import derive_rng
+
+SMOKE = get_scale("smoke")
+
+
+@pytest.fixture
+def scratch_rungs():
+    """Unregister any rung a test registers, even on failure."""
+    registered: list[str] = []
+    yield registered
+    for name in registered:
+        try:
+            unregister_scale(name)
+        except ExperimentError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Scale: grouped sub-specs with the flat legacy spelling
+# ---------------------------------------------------------------------------
+
+
+class TestScaleStructure:
+    def test_flat_and_grouped_constructions_are_equal(self):
+        flat = Scale(
+            name="x",
+            static_node_counts=(120,),
+            static_graphs=1,
+            static_ops=4,
+            analysis_node_counts=(1000,),
+            analysis_degrees=(10,),
+            complete_node_counts=(1000,),
+            pastry_nodes=50,
+            perturbed_inserts=5,
+            perturbed_lookups=5,
+            flap_probabilities=(0.5,),
+        )
+        grouped = Scale(
+            name="x",
+            static=flat.static,
+            analysis=flat.analysis,
+            perturb=flat.perturb,
+            service=flat.service,
+            budget=flat.budget,
+        )
+        assert flat == grouped
+
+    def test_every_flat_passthrough_reads_its_subspec(self):
+        smoke = SMOKE
+        assert smoke.static_node_counts == smoke.static.node_counts
+        assert smoke.static_graphs == smoke.static.graphs
+        assert smoke.static_ops == smoke.static.ops
+        assert smoke.analysis_node_counts == smoke.analysis.node_counts
+        assert smoke.analysis_degrees == smoke.analysis.degrees
+        assert smoke.complete_node_counts == smoke.analysis.complete_node_counts
+        assert smoke.pastry_nodes == smoke.perturb.pastry_nodes
+        assert smoke.perturbed_inserts == smoke.perturb.inserts
+        assert smoke.perturbed_lookups == smoke.perturb.lookups
+        assert smoke.flap_probabilities == smoke.perturb.flap_probabilities
+        assert smoke.outage_severities == smoke.perturb.outage_severities
+        assert smoke.wave_intensities == smoke.perturb.wave_intensities
+        assert smoke.storm_fractions == smoke.perturb.storm_fractions
+        assert smoke.removal_fractions == smoke.perturb.removal_fractions
+        assert smoke.service_duration == smoke.service.duration
+        assert smoke.service_rate == smoke.service.rate
+        assert smoke.service_window == smoke.service.window
+        assert smoke.service_loads == smoke.service.loads
+
+    def test_mixing_subspec_and_flat_field_rejected(self):
+        with pytest.raises(TypeError, match="both"):
+            Scale(name="x", service=ServiceSpec(), service_rate=2.0)
+
+    def test_unknown_flat_field_rejected(self):
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            Scale(name="x", warp_factor=9)
+
+    def test_evolve_flat_field(self):
+        evolved = SMOKE.evolve(pastry_nodes=123)
+        assert evolved.pastry_nodes == 123
+        assert evolved.name == "smoke"
+        assert evolved.static == SMOKE.static
+        assert evolved.service == SMOKE.service
+
+    def test_evolve_whole_subspec_and_name(self):
+        budget = BudgetSpec(max_wall_s=60.0)
+        evolved = SMOKE.evolve(name="capped", budget=budget)
+        assert evolved.name == "capped"
+        assert evolved.budget is budget
+        assert evolved.perturb == SMOKE.perturb
+
+    def test_evolve_unknown_field_is_one_line_error(self):
+        with pytest.raises(ExperimentError, match="unknown scale field") as info:
+            SMOKE.evolve(warp_factor=9)
+        assert "\n" not in str(info.value)
+
+    def test_budget_validation(self):
+        assert BudgetSpec().unlimited
+        assert not BudgetSpec(max_wall_s=1.0).unlimited
+        with pytest.raises(ExperimentError, match="positive"):
+            BudgetSpec(max_wall_s=-1.0)
+        with pytest.raises(ExperimentError, match="positive"):
+            BudgetSpec(max_rss_mb=0)
+
+
+# ---------------------------------------------------------------------------
+# The ladder rungs and the runtime registry
+# ---------------------------------------------------------------------------
+
+
+class TestScaleRegistry:
+    def test_ladder_rungs_are_builtin_and_budgeted(self):
+        large = get_scale("large")
+        assert large.static_node_counts == (100_000,)
+        assert large.budget.max_wall_s is not None
+        assert large.budget.max_rss_mb is not None
+        massive = get_scale("massive")
+        assert massive.static_node_counts == (1_000_000,)
+        assert not massive.budget.unlimited
+        # smoke..paper stay unbudgeted (the historical behaviour)
+        for name in ("smoke", "default", "paper"):
+            assert get_scale(name).budget.unlimited
+
+    def test_unknown_rung_error_lists_available(self):
+        with pytest.raises(ExperimentError, match="large") as info:
+            get_scale("gigantic")
+        message = str(info.value)
+        assert "\n" not in message
+        assert "massive" in message and "smoke" in message
+
+    def test_register_resolve_unregister(self, scratch_rungs):
+        rung = SMOKE.evolve(name="ladder-test-rung", pastry_nodes=60)
+        register_scale(rung)
+        scratch_rungs.append("ladder-test-rung")
+        assert get_scale("ladder-test-rung") is rung
+        assert "ladder-test-rung" in available_scales()
+        unregister_scale("ladder-test-rung")
+        assert "ladder-test-rung" not in available_scales()
+        with pytest.raises(ExperimentError, match="unknown scale"):
+            get_scale("ladder-test-rung")
+
+    def test_builtin_names_are_immutable(self):
+        with pytest.raises(ExperimentError, match="built-in"):
+            register_scale(SMOKE.evolve(pastry_nodes=1))
+        with pytest.raises(ExperimentError, match="built-in"):
+            unregister_scale("smoke")
+
+    def test_duplicate_registration_needs_replace(self, scratch_rungs):
+        first = SMOKE.evolve(name="ladder-dup")
+        register_scale(first)
+        scratch_rungs.append("ladder-dup")
+        with pytest.raises(ExperimentError, match="replace=True"):
+            register_scale(SMOKE.evolve(name="ladder-dup"))
+        second = SMOKE.evolve(name="ladder-dup", pastry_nodes=77)
+        register_scale(second, replace=True)
+        assert get_scale("ladder-dup").pastry_nodes == 77
+
+    def test_api_facade(self, scratch_rungs):
+        names = [scale.name for scale in api.scales()]
+        assert names == sorted(names)
+        assert {"smoke", "default", "paper", "large", "massive"} <= set(names)
+        assert api.get_scale("large").name == "large"
+        rung = api.get_scale("smoke").evolve(name="ladder-api-rung")
+        api.register_scale(rung)
+        scratch_rungs.append("ladder-api-rung")
+        assert any(scale.name == "ladder-api-rung" for scale in api.scales())
+        api.unregister_scale("ladder-api-rung")
+
+
+# ---------------------------------------------------------------------------
+# Budget enforcement
+# ---------------------------------------------------------------------------
+
+
+class TestBudgetEnforcement:
+    def test_wall_clock_budget_aborts_with_one_line_error(self):
+        capped = SMOKE.evolve(name="tiny-wall", max_wall_s=1e-9)
+        with pytest.raises(ExperimentError, match="wall-clock budget") as info:
+            run_experiment("fig7", scale=capped, seed=0)
+        assert "\n" not in str(info.value)
+        assert "tiny-wall" in str(info.value)
+
+    def test_rss_budget_aborts_with_one_line_error(self):
+        from repro.experiments.budget import current_rss_mb
+
+        if current_rss_mb() is None:
+            pytest.skip("no procfs RSS on this platform")
+        capped = SMOKE.evolve(name="tiny-rss", max_rss_mb=0.5)
+        with pytest.raises(ExperimentError, match="memory budget") as info:
+            run_experiment("fig7", scale=capped, seed=0)
+        assert "\n" not in str(info.value)
+
+    def test_generous_budget_does_not_interfere(self):
+        roomy = SMOKE.evolve(name="roomy", max_wall_s=3600.0, max_rss_mb=1 << 20)
+        result = run_experiment("fig7", scale=roomy, seed=0)
+        assert result.rows
+        assert result.scale == "roomy"
+
+    def test_budget_abort_leaves_no_partial_artifacts(
+        self, tmp_path, capsys, scratch_rungs
+    ):
+        register_scale(SMOKE.evolve(name="ladder-capped", max_wall_s=1e-9))
+        scratch_rungs.append("ladder-capped")
+        out = tmp_path / "results"
+        code = main(
+            ["run", "fig7", "--scale", "ladder-capped", "--out", str(out)]
+        )
+        assert code == 2
+        assert "wall-clock budget" in capsys.readouterr().err
+        leftovers = [p for p in out.rglob("*") if p.is_file()]
+        assert leftovers == []
+
+
+# ---------------------------------------------------------------------------
+# Compose: the [scale] table
+# ---------------------------------------------------------------------------
+
+
+def _composed_source(scale_table):
+    return {
+        "experiment": {"id": "ladder-composed", "title": "scale table test"},
+        "sweep": {"column": "probability", "values": [0.5]},
+        "scenario": [
+            {"family": "flapping", "period": "30:30", "probability": "$probability"}
+        ],
+        "scale": scale_table,
+    }
+
+
+class TestComposeScaleTable:
+    def test_scale_table_overrides_invoked_rung(self):
+        spec = compose_spec(
+            _composed_source(
+                {
+                    "pastry_nodes": 60,
+                    "perturbed_lookups": 10,
+                    "budget": {"max_wall_s": 300.0},
+                }
+            )
+        )
+        evolved = spec.scale_transform(SMOKE)
+        assert evolved.pastry_nodes == 60
+        assert evolved.perturbed_lookups == 10
+        assert evolved.budget.max_wall_s == 300.0
+        # fields the table doesn't pin follow the invoked rung
+        assert evolved.perturbed_inserts == SMOKE.perturbed_inserts
+        result = spec.run(scale="smoke", seed=0)
+        assert result.rows
+
+    def test_scale_table_base_and_name(self):
+        spec = compose_spec(
+            _composed_source({"base": "default", "name": "composed-rung"})
+        )
+        evolved = spec.scale_transform(SMOKE)
+        assert evolved.name == "composed-rung"
+        assert evolved.pastry_nodes == get_scale("default").pastry_nodes
+
+    def test_unknown_scale_field_fails_at_compose_time(self):
+        with pytest.raises(ExperimentError, match="unknown scale field"):
+            compose_spec(_composed_source({"warp_factor": 9}))
+
+    def test_unknown_budget_key_fails_at_compose_time(self):
+        with pytest.raises(ExperimentError, match=r"scale.budget"):
+            compose_spec(_composed_source({"budget": {"max_quarks": 1}}))
+
+    def test_unknown_base_rung_fails_at_compose_time(self):
+        with pytest.raises(ExperimentError, match="unknown scale"):
+            compose_spec(_composed_source({"base": "galactic"}))
+
+
+# ---------------------------------------------------------------------------
+# The struct-of-arrays core
+# ---------------------------------------------------------------------------
+
+
+def _arrays_fixture(n=30, degree=6, seed=3):
+    overlay = fixed_degree_random_graph(n, degree=degree, seed=seed)
+    space = IdSpace(bits=16, digit_bits=4)
+    ids = space.random_unique_identifiers(n, derive_rng(seed, "ladder-soa-ids"))
+    return overlay, ids
+
+
+class TestNodeArrays:
+    def test_digit_matrix_matches_identifier_digits(self):
+        _overlay, ids = _arrays_fixture()
+        matrix = pack_digit_matrix(ids)
+        for row, identifier in zip(matrix, ids):
+            assert bytes(row.tolist()) == identifier.digits
+
+    def test_neighbors_and_rows_with_self(self):
+        overlay, ids = _arrays_fixture()
+        arrays = NodeArrays(overlay, ids)
+        for node in range(overlay.n):
+            assert arrays.neighbors(node).tolist() == sorted(overlay.neighbors(node))
+            rows = arrays.rows_ws(node).tolist()
+            assert rows[0] == node
+            assert rows[1:] == sorted(overlay.neighbors(node))
+
+    def test_refresh_alive_matches_point_queries(self):
+        overlay, ids = _arrays_fixture()
+        arrays = NodeArrays(overlay, ids)
+        assert arrays.online_count() == overlay.n
+        process = FlappingSchedule(
+            FlappingConfig(30, 30, 0.7), overlay.n, seed=5
+        )
+        for time in (0.0, 31.0, 45.0, 200.0):
+            mask = arrays.refresh_alive(process, time)
+            expected = [process.is_online(node, time) for node in range(overlay.n)]
+            assert mask.tolist() == expected
+            assert arrays.online_count() == sum(expected)
+
+
+class TestMetricTableParity:
+    @pytest.mark.parametrize(
+        "metric_cls", [CommonDigitsMetric, PrefixLengthMetric, SuffixLengthMetric]
+    )
+    def test_soa_scores_match_per_pair_reference(self, metric_cls):
+        overlay, ids = _arrays_fixture(n=24, degree=5, seed=9)
+        metric = metric_cls()
+        table = NeighborMetricTable(overlay, ids, metric=metric)
+        targets = IdSpace(bits=16, digit_bits=4).random_unique_identifiers(
+            6, derive_rng(9, "ladder-targets")
+        )
+        for target in targets:
+            for node in range(overlay.n):
+                neighbors = sorted(overlay.neighbors(node))
+                expected = [metric.score(target, ids[j]) for j in neighbors]
+                assert table.scores(node, target).tolist() == expected
+                assert table.scores_with_self(node, target) == [
+                    metric.score(target, ids[node])
+                ] + expected
+
+
+class TestMultiBlockTableBuild:
+    def _ring(self, n, seed):
+        space = IdSpace(bits=16, digit_bits=4)
+        ids = space.random_unique_identifiers(n, derive_rng(seed, "ladder-ring"))
+        return pastry_state.PastryRing(ids)
+
+    def test_blocked_build_is_block_size_invariant(self, monkeypatch):
+        ring = self._ring(40, seed=11)
+        expected = pastry_state.build_routing_tables(ring, seed=11)
+        monkeypatch.setattr(pastry_state, "_BUILD_BLOCK_BYTES", 1)
+        assert pastry_state.build_routing_tables(ring, seed=11) == expected
+
+    def test_blocked_build_with_latency_is_block_size_invariant(self, monkeypatch):
+        ring = self._ring(40, seed=12)
+        latency = UniformRandomLatency(0.01, 0.09, seed=12)
+        expected = pastry_state.build_routing_tables(ring, latency=latency, seed=12)
+        monkeypatch.setattr(pastry_state, "_BUILD_BLOCK_BYTES", 1)
+        assert (
+            pastry_state.build_routing_tables(ring, latency=latency, seed=12)
+            == expected
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bulk availability bitmaps
+# ---------------------------------------------------------------------------
+
+
+def _mask_processes(n=50, seed=7):
+    regions = [node % 4 for node in range(n)]
+    flapping = FlappingSchedule(FlappingConfig(30, 30, 0.6), n, seed=seed)
+    return {
+        "flapping": flapping,
+        "churn": ChurnSchedule(ChurnConfig(120.0, 60.0), n, seed=seed),
+        "wave": ChurnWaveSchedule(
+            ChurnWaveConfig(120.0, 60.0, 600.0, 120.0, 4.0), n, seed=seed
+        ),
+        "storm": JoinStormSchedule(
+            JoinStormConfig(90.0, 0.4, stagger=30.0), n, seed=seed
+        ),
+        "outage": RegionalOutage(
+            regions, RegionalOutageConfig(60.0, 120.0, 0.5), seed=seed
+        ),
+        "adversarial": AdversarialRemoval(
+            list(range(n)), AdversarialRemovalConfig(0.3, start=50.0), seed=seed
+        ),
+        "timeline": ScenarioTimeline(
+            [
+                FlappingSchedule(FlappingConfig(30, 30, 0.6), n, seed=seed),
+                RegionalOutage(
+                    regions, RegionalOutageConfig(60.0, 120.0, 0.5), seed=seed
+                ),
+            ]
+        ),
+    }
+
+
+class TestOnlineMasks:
+    @pytest.mark.parametrize("name", sorted(_mask_processes(n=4, seed=0)))
+    def test_mask_matches_point_queries(self, name):
+        n = 50
+        process = _mask_processes(n=n, seed=7)[name]
+        for time in (-1.0, 0.0, 45.0, 61.0, 95.0, 130.0, 700.0):
+            mask = process.online_mask(time)
+            expected = [process.is_online(node, time) for node in range(n)]
+            assert mask.tolist() == expected, f"{name} diverges at t={time}"
+
+    def test_mask_order_independent_of_point_queries(self):
+        # resolving the bitmap first must not change later point queries
+        # (lazy per-node RNG streams), and vice versa
+        n = 40
+        a = FlappingSchedule(FlappingConfig(30, 30, 0.6), n, seed=13)
+        b = FlappingSchedule(FlappingConfig(30, 30, 0.6), n, seed=13)
+        times = (45.0, 105.0, 165.0)
+        masks_first = [a.online_mask(t).tolist() for t in times]
+        points_first = [
+            [b.is_online(node, t) for node in range(n)] for t in times
+        ]
+        assert masks_first == points_first
+        assert [
+            [a.is_online(node, t) for node in range(n)] for t in times
+        ] == masks_first
+        assert [b.online_mask(t).tolist() for t in times] == points_first
+
+    def test_timeline_memoises_same_instant(self):
+        processes = _mask_processes(n=30, seed=3)
+        timeline = processes["timeline"]
+        first = timeline.online_mask(61.0)
+        assert timeline.online_mask(61.0) is first
+        assert timeline.online_mask(62.0) is not first
+
+
+# ---------------------------------------------------------------------------
+# BENCH schema v2: budgets and peak RSS in the bench gate
+# ---------------------------------------------------------------------------
+
+
+class TestBenchBudgets:
+    def test_profile_records_budget_and_rss(self):
+        rung = SMOKE.evolve(
+            name="smoke-budgeted", max_wall_s=3600.0, max_rss_mb=1 << 20
+        )
+        result = profile_experiment(
+            "fig7", scale=rung, seed=0, repeats=1, with_profile=False
+        )
+        assert result.scale == "smoke-budgeted"
+        assert result.budget_max_wall_s == 3600.0
+        assert result.budget_max_rss_mb == float(1 << 20)
+        assert result.peak_rss_mb is None or result.peak_rss_mb > 0
+        assert check_budgets([result]) == []
+
+    def test_check_budgets_flags_violations(self):
+        rung = SMOKE.evolve(
+            name="smoke-budgeted", max_wall_s=3600.0, max_rss_mb=1 << 20
+        )
+        result = profile_experiment(
+            "fig7", scale=rung, seed=0, repeats=1, with_profile=False
+        )
+        slow = dataclasses.replace(result, wall_clock_mean=7200.0)
+        fat = dataclasses.replace(result, peak_rss_mb=float(1 << 21))
+        violations = check_budgets([slow, fat])
+        resources = {v.resource for v in violations}
+        assert resources == {"wall clock", "peak RSS"}
+        for violation in violations:
+            assert "\n" not in violation.describe()
+            assert "smoke-budgeted" in violation.describe()
+
+    def test_v1_bench_payload_still_loads(self):
+        payload = {
+            "experiment_id": "fig9",
+            "scale": "smoke",
+            "seed": 0,
+            "repeats": 1,
+            "warm": True,
+            "wall_clock_best": 0.5,
+            "wall_clock_mean": 0.5,
+            "events_processed": 100,
+            "events_per_sec": 200.0,
+            "hotspots": [],
+            "git_rev": "deadbeef",
+            "schema_version": 1,
+        }
+        result = BenchResult.from_dict(json.loads(json.dumps(payload)))
+        assert result.peak_rss_mb is None
+        assert result.budget_max_wall_s is None
+        assert check_budgets([result]) == []
