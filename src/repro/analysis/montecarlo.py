@@ -13,6 +13,7 @@ from repro.core.identifiers import IdSpace
 from repro.core.metric import NeighborMetricTable
 from repro.errors import ConfigurationError
 from repro.overlay.graph import OverlayGraph
+from repro.sim.rng import derive_rng
 
 
 def sample_local_maxima_count(
@@ -51,7 +52,10 @@ def mean_local_maxima(
     """Average :func:`sample_local_maxima_count` over ``trials`` draws."""
     if trials < 1:
         raise ConfigurationError(f"trials must be >= 1, got {trials}")
-    rng = random.Random(hash(("mc-maxima", repr(seed))) & 0xFFFFFFFF)
+    # derive_rng, not random.Random(hash(...)): str hashing is salted per
+    # process (PYTHONHASHSEED), so the old hash-based seed gave every
+    # interpreter its own sampling trajectory for the same `seed`
+    rng = derive_rng(seed, "mc-maxima")
     total = sum(
         sample_local_maxima_count(overlay, space, rng, strict=strict)
         for _ in range(trials)

@@ -13,7 +13,10 @@ Four verbs cover the workflow end to end:
 - :func:`sweep_status` — a sweep's ledger rows (task states, attempts,
   checksums) without running anything;
 - :func:`compose` — build a runnable spec from a declarative TOML file or
-  dict (see :mod:`repro.experiments.compose`), no module required.
+  dict (see :mod:`repro.experiments.compose`), no module required;
+- :func:`lint` — run the determinism-contract static analyzer
+  (:mod:`repro.lint`) over source trees and return the
+  :class:`~repro.lint.report.LintReport` the CI gate checks.
 
 Example::
 
@@ -62,15 +65,19 @@ from repro.experiments.scales import (
 )
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore
+from repro.lint import LintConfig, LintReport, lint_paths as _lint_paths
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSpec",
+    "LintConfig",
+    "LintReport",
     "Scale",
     "SweepReport",
     "compose",
     "get",
     "get_scale",
+    "lint",
     "list_experiments",
     "register",
     "register_scale",
@@ -239,3 +246,26 @@ def compose(
 def get(experiment_id: str) -> ExperimentSpec:
     """The registered spec for an id (metadata access without running)."""
     return get_spec(experiment_id)
+
+
+def lint(
+    paths: Iterable[Union[str, pathlib.Path]] = ("src", "benchmarks"),
+    config: Optional[LintConfig] = None,
+    rules: Optional[Iterable[str]] = None,
+) -> LintReport:
+    """Run the determinism-contract analyzer, like the CLI ``lint``.
+
+    ``config=None`` auto-discovers the nearest ``pyproject.toml``'s
+    ``[tool.repro-lint]`` allowlists; ``rules`` restricts the pass to the
+    named rule ids.  The returned report is deterministic (sorted
+    violations) and ``report.ok`` is the CI gate condition.
+
+    >>> from repro import api
+    >>> api.lint(["src/repro/sim"]).ok
+    True
+    """
+    return _lint_paths(
+        list(paths),
+        config=config,
+        rules=list(rules) if rules is not None else None,
+    )

@@ -23,6 +23,7 @@ from repro.core.metric import NeighborMetricTable
 from repro.core.replicas import ReplicaDirectory
 from repro.errors import RoutingError
 from repro.overlay.graph import OverlayGraph
+from repro.sim.rng import derive_rng
 
 
 def random_walk_lookup(
@@ -41,7 +42,7 @@ def random_walk_lookup(
         raise RoutingError(f"walkers must be >= 1, got {walkers}")
     if max_steps < 0:
         raise RoutingError(f"max_steps must be non-negative, got {max_steps}")
-    rng = rng if rng is not None else random.Random(0)
+    rng = rng if rng is not None else derive_rng(0, "random-walk-lookup")
 
     replies: list[tuple[int, int]] = []
     traffic = 0

@@ -16,7 +16,6 @@ beyond ``failure_multiplier`` periods are dropped from the owner's view.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
 
 from repro.core.identifiers import Identifier
 from repro.core.network import MPILNetwork

@@ -24,6 +24,7 @@ through :class:`~repro.experiments.store.ResultStore` (see
 """
 
 from repro.experiments.base import ExperimentResult
+from repro.experiments.budget import BudgetGuard
 from repro.experiments.compose import compose_spec, load_spec_file
 from repro.experiments.registry import (
     all_experiment_ids,
@@ -35,7 +36,6 @@ from repro.experiments.registry import (
     run_experiment,
     unregister,
 )
-from repro.experiments.budget import BudgetGuard
 from repro.experiments.runner import SweepReport, SweepSpec, parse_seeds, run_sweep
 from repro.experiments.scales import (
     SCALES,

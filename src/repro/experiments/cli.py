@@ -1,6 +1,6 @@
-"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|compose|serve|perf``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|compose|serve|perf|lint``.
 
-Eight commands:
+Nine commands:
 
 - ``list`` — show every registered experiment id and title, with
   ``--tags`` filtering on the registry metadata (``list --tags ext``);
@@ -31,7 +31,13 @@ Eight commands:
   ``benchmarks/baseline.json`` (see :mod:`repro.perf`); ``--scale`` takes
   a comma-separated rung list (``smoke,large``) profiled in turn with the
   construction caches cleared between rungs, and budgeted rungs
-  additionally gate on their declared wall-clock/RSS ceilings.
+  additionally gate on their declared wall-clock/RSS ceilings;
+- ``lint`` — run the determinism-contract static analyzer
+  (:mod:`repro.lint`) over source trees (default ``src benchmarks``):
+  exit 0 when clean, 1 when any rule fires, 2 on usage errors;
+  ``--format json`` emits the versioned report, ``--report FILE`` also
+  writes it to disk (the CI artifact), ``--list-rules`` names every rule,
+  and ``--explain DET001`` prints one rule's rationale and fix pattern.
 
 The sweep store layout is ``<out>/<experiment>/<scale>/seed_<n>.json`` with
 a ``manifest.json`` (git revision, timestamps, wall-clock, event counts)
@@ -54,6 +60,9 @@ Examples::
     mpil-experiments compose my-sweep.toml --scale smoke --seed 1
     mpil-experiments serve svc-outage --scale smoke --rate 2 --format json
     mpil-experiments perf fig9 ext-outage --scale smoke --check benchmarks/baseline.json
+    mpil-experiments lint src benchmarks
+    mpil-experiments lint --explain DET003
+    mpil-experiments lint src --format json --report repro-lint-report.json
 
 (Without an installed entry point, invoke the same CLI as
 ``PYTHONPATH=src python -m repro.experiments.cli ...``.)
@@ -82,6 +91,7 @@ from repro.experiments.runner import SweepSpec, TaskOutcome, parse_seeds, run_sw
 from repro.experiments.scales import available_scales, get_scale, with_service_overrides
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore, result_to_csv
+from repro.lint import all_rules, get_rule, lint_paths, load_config
 from repro.perf.profiler import profile_experiment, write_bench
 from repro.perf.regression import check_budgets, check_regressions, write_baseline
 from repro.perturbation.scenario import get_family, scenario_families, scenarios_for
@@ -362,6 +372,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="BASELINE",
         help="rewrite a baseline.json from this run's measurements",
+    )
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the determinism-contract static analyzer (repro.lint)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "benchmarks"],
+        help="files/directories to analyze (default: src benchmarks)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report as grep-able lines or as the versioned JSON schema",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="RULE[,RULE...]",
+        help="only run these rule ids (default: every registered rule)",
+    )
+    lint_parser.add_argument(
+        "--config",
+        type=pathlib.Path,
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml holding [tool.repro-lint] "
+        "(default: nearest one at or above the first path)",
+    )
+    lint_parser.add_argument(
+        "--report",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report here (regardless of --format)",
+    )
+    lint_parser.add_argument(
+        "--explain",
+        default=None,
+        metavar="RULE",
+        help="print one rule's rationale and fix pattern, then exit",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every registered rule id with its one-line title",
     )
     return parser
 
@@ -665,6 +724,34 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        print(get_rule(args.explain).explain())
+        return 0
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id:8s} {rule.title}")
+        return 0
+    config = (
+        load_config(pyproject=args.config) if args.config is not None else None
+    )
+    rules = None
+    if args.rules is not None:
+        rules = [name.strip() for name in args.rules.split(",") if name.strip()]
+        for rule_id in rules:
+            get_rule(rule_id)  # unknown ids get the one-line error up front
+    report = lint_paths(args.paths, config=config, rules=rules)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(report.to_json())
+        print(f"report written: {args.report}", file=sys.stderr)
+    if args.format == "json":
+        print(report.to_json(), end="")
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -680,6 +767,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_serve(args)
         if args.command == "perf":
             return _cmd_perf(args)
+        if args.command == "lint":
+            return _cmd_lint(args)
         if args.command == "status":
             return _cmd_status(args)
         return _cmd_sweep(args)

@@ -22,7 +22,7 @@ import dataclasses
 from typing import Sequence
 
 from repro.core.config import MPILConfig
-from repro.core.identifiers import Identifier, IdSpace
+from repro.core.identifiers import Identifier
 from repro.core.timed import TimedMPILNetwork
 from repro.errors import ExperimentError
 from repro.overlay.transit_stub import TransitStubUnderlay

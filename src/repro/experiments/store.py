@@ -278,8 +278,12 @@ class ResultStore:
         directory = self.result_dir(experiment_id, scale)
         if not directory.is_dir():
             return []
+        # sorted() on the glob: directory enumeration order is
+        # filesystem-dependent, and every consumer of this scan (manifest
+        # updates, load_all, aggregation) must see one canonical order;
+        # the final numeric sort then fixes seed_10 < seed_9 lexicography
         found = []
-        for path in directory.glob("seed_*.json"):
+        for path in sorted(directory.glob("seed_*.json")):
             try:
                 found.append(int(path.stem.removeprefix("seed_")))
             except ValueError:

@@ -1,0 +1,253 @@
+"""``[tool.repro-lint]`` configuration: path allowlists and excludes.
+
+The analyzer's rules are absolute statements of the determinism contract;
+the *config* records where the contract deliberately does not apply — the
+one module allowed to construct ``random.Random`` (``sim/rng.py``), the
+provenance/profiling modules allowed to read wall clocks, the entry points
+allowed to read the environment.  Keeping those carve-outs in
+``pyproject.toml`` (not in the rules) makes every exemption reviewable in
+one place::
+
+    [tool.repro-lint]
+    exclude = ["src/repro/_vendored"]
+
+    [tool.repro-lint.allow]
+    DET001 = ["src/repro/sim/rng.py"]
+    DET003 = ["src/repro/perf", "src/repro/experiments/budget.py"]
+
+Entries are paths relative to the directory holding ``pyproject.toml``:
+an exact file path, a directory prefix (everything under it), or an
+``fnmatch`` glob.  :func:`load_config` walks upward from a start path to
+find the governing ``pyproject.toml``, so ``mpil-experiments lint`` works
+from any subdirectory of a checkout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import pathlib
+import re
+from typing import Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+try:  # Python 3.11+
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+#: the pyproject table the analyzer reads
+CONFIG_TABLE = "repro-lint"
+
+
+def _match(rel_path: str, pattern: str) -> bool:
+    """True iff ``rel_path`` (POSIX, relative) matches one config entry."""
+    pattern = pattern.rstrip("/")
+    if rel_path == pattern:
+        return True
+    if rel_path.startswith(pattern + "/"):
+        return True
+    return fnmatch.fnmatch(rel_path, pattern)
+
+
+@dataclasses.dataclass(frozen=True)
+class LintConfig:
+    """Resolved analyzer configuration.
+
+    ``root`` anchors the relative paths in ``allow``/``exclude`` (and the
+    paths violations are reported under); with no config file it defaults
+    to the current directory.
+    """
+
+    root: pathlib.Path = dataclasses.field(default_factory=pathlib.Path.cwd)
+    allow: Mapping[str, tuple[str, ...]] = dataclasses.field(default_factory=dict)
+    exclude: tuple[str, ...] = ()
+
+    def relative_path(self, path: Union[str, pathlib.Path]) -> str:
+        """``path`` as a POSIX string relative to the config root (files
+        outside the root keep their absolute form)."""
+        resolved = pathlib.Path(path).resolve()
+        try:
+            return resolved.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return resolved.as_posix()
+
+    def is_excluded(self, path: Union[str, pathlib.Path]) -> bool:
+        rel = self.relative_path(path)
+        return any(_match(rel, pattern) for pattern in self.exclude)
+
+    def is_allowed(self, rule_id: str, path: Union[str, pathlib.Path]) -> bool:
+        """True iff ``rule_id`` is exempted for this file by the config."""
+        patterns = self.allow.get(rule_id, ())
+        if not patterns:
+            return False
+        rel = self.relative_path(path)
+        return any(_match(rel, pattern) for pattern in patterns)
+
+    @classmethod
+    def from_dict(
+        cls, payload: Mapping, root: Union[str, pathlib.Path, None] = None
+    ) -> "LintConfig":
+        """Build a config from a ``[tool.repro-lint]`` table's contents."""
+        allow_table = payload.get("allow", {})
+        if not isinstance(allow_table, Mapping):
+            raise ConfigurationError(
+                f"[tool.{CONFIG_TABLE}] allow must be a table of "
+                f"rule-id -> path list, got {type(allow_table).__name__}"
+            )
+        allow: dict[str, tuple[str, ...]] = {}
+        for rule_id, patterns in allow_table.items():
+            if isinstance(patterns, str):
+                patterns = [patterns]
+            if not isinstance(patterns, (list, tuple)) or not all(
+                isinstance(p, str) for p in patterns
+            ):
+                raise ConfigurationError(
+                    f"[tool.{CONFIG_TABLE}] allow.{rule_id} must be a list "
+                    f"of path strings"
+                )
+            allow[str(rule_id)] = tuple(patterns)
+        exclude = payload.get("exclude", [])
+        if isinstance(exclude, str):
+            exclude = [exclude]
+        if not isinstance(exclude, (list, tuple)) or not all(
+            isinstance(p, str) for p in exclude
+        ):
+            raise ConfigurationError(
+                f"[tool.{CONFIG_TABLE}] exclude must be a list of path strings"
+            )
+        return cls(
+            root=pathlib.Path(root) if root is not None else pathlib.Path.cwd(),
+            allow=allow,
+            exclude=tuple(exclude),
+        )
+
+
+def find_pyproject(start: Union[str, pathlib.Path]) -> Optional[pathlib.Path]:
+    """The nearest ``pyproject.toml`` at or above ``start``, or None."""
+    current = pathlib.Path(start).resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in (current, *current.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+# The self-hosted fallback for Python 3.10 (no tomllib): enough TOML to
+# read the [tool.repro-lint] table — bare tables, string keys, strings,
+# and (possibly multi-line) arrays of strings.  3.11+ always uses tomllib.
+_TABLE_RE = re.compile(r"^\[(?P<name>[^\]]+)\]\s*$")
+_KEY_RE = re.compile(
+    r"^(?P<key>[A-Za-z0-9_\-\"\']+)\s*=\s*(?P<value>.*)$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    in_string: Optional[str] = None
+    for index, char in enumerate(line):
+        if in_string:
+            if char == in_string:
+                in_string = None
+        elif char in "\"'":
+            in_string = char
+        elif char == "#":
+            return line[:index]
+    return line
+
+
+def _parse_string_array(text: str, context: str) -> list[str]:
+    body = text.strip()
+    if not (body.startswith("[") and body.endswith("]")):
+        raise ConfigurationError(f"{context}: expected a TOML array, got {text!r}")
+    items = []
+    for chunk in body[1:-1].split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if len(chunk) < 2 or chunk[0] not in "\"'" or chunk[-1] != chunk[0]:
+            raise ConfigurationError(
+                f"{context}: expected a quoted string, got {chunk!r}"
+            )
+        items.append(chunk[1:-1])
+    return items
+
+
+def _parse_minimal_toml(text: str, wanted_table: str) -> dict:
+    """Extract one pyproject table with a TOML subset parser (3.10 path)."""
+    sections: dict[str, dict] = {}
+    current: Optional[dict] = None
+    pending_key: Optional[str] = None
+    pending_value = ""
+    for raw_line in text.splitlines():
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        if pending_key is not None:
+            pending_value += " " + line
+            if line.endswith("]"):
+                assert current is not None
+                current[pending_key] = _parse_string_array(
+                    pending_value, pending_key
+                )
+                pending_key, pending_value = None, ""
+            continue
+        table = _TABLE_RE.match(line)
+        if table:
+            current = sections.setdefault(table.group("name").strip(), {})
+            continue
+        if current is None:
+            continue
+        pair = _KEY_RE.match(line)
+        if not pair:
+            continue
+        key = pair.group("key").strip("\"'")
+        value = pair.group("value").strip()
+        if value.startswith("[") and not value.endswith("]"):
+            pending_key, pending_value = key, value
+            continue
+        if value.startswith("["):
+            current[key] = _parse_string_array(value, key)
+        elif value[:1] in "\"'" and value[-1:] == value[:1]:
+            current[key] = value[1:-1]
+        # other value kinds (ints, booleans, inline tables) are not part
+        # of the repro-lint schema and are ignored by the fallback parser
+    result: dict = dict(sections.get(f"tool.{wanted_table}", {}))
+    prefix = f"tool.{wanted_table}."
+    for name, table_dict in sections.items():
+        if name.startswith(prefix):
+            result[name[len(prefix):]] = dict(table_dict)
+    return result
+
+
+def load_config(
+    start: Union[str, pathlib.Path, None] = None,
+    pyproject: Union[str, pathlib.Path, None] = None,
+) -> LintConfig:
+    """Resolve the analyzer config for a lint invocation.
+
+    ``pyproject`` names the file explicitly; otherwise the nearest
+    ``pyproject.toml`` at or above ``start`` (default: the current
+    directory) governs.  A missing file or missing ``[tool.repro-lint]``
+    table yields the empty config — every rule applies everywhere.
+    """
+    if pyproject is not None:
+        path = pathlib.Path(pyproject)
+        if not path.is_file():
+            raise ConfigurationError(f"no pyproject file at {path}")
+    else:
+        found = find_pyproject(start if start is not None else pathlib.Path.cwd())
+        if found is None:
+            return LintConfig()
+        path = found
+    text = path.read_text()
+    if tomllib is not None:
+        try:
+            table = tomllib.loads(text).get("tool", {}).get(CONFIG_TABLE, {})
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigurationError(f"invalid TOML in {path}: {exc}") from exc
+    else:  # pragma: no cover - exercised only on 3.10
+        table = _parse_minimal_toml(text, CONFIG_TABLE)
+    return LintConfig.from_dict(table, root=path.parent)

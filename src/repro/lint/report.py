@@ -1,0 +1,124 @@
+"""Violations and lint reports: the analyzer's output model.
+
+A :class:`Violation` is one rule firing at one source location; a
+:class:`LintReport` is the deterministic, sorted collection of every
+violation the analyzer found over a file set, plus scan statistics.  The
+JSON schema (``LintReport.to_dict``) is versioned and round-trips through
+:meth:`LintReport.from_dict`, so CI can archive reports as artifacts and
+tooling can diff them across revisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Mapping
+
+from repro.errors import ExperimentError
+
+#: bumped whenever the JSON report layout changes incompatibly
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One rule firing at one source location.
+
+    Ordered by ``(path, line, column, rule_id)`` so reports are stable
+    regardless of rule registration or filesystem walk order.
+    """
+
+    path: str  #: file path, POSIX-style, relative to the lint root
+    line: int  #: 1-based source line
+    column: int  #: 0-based column offset (ast convention)
+    rule_id: str  #: e.g. ``DET003``
+    message: str  #: one-line description of this occurrence
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — one grep-able line."""
+        return f"{self.path}:{self.line}:{self.column}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Violation":
+        return cls(
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            column=int(payload["column"]),
+            rule_id=str(payload["rule_id"]),
+            message=str(payload["message"]),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class LintReport:
+    """Everything one analyzer pass found, in deterministic order."""
+
+    violations: tuple[Violation, ...]
+    files_scanned: int
+    suppressed: int  #: violations silenced by inline ``# repro: allow[...]``
+    allowed: int  #: violations silenced by a config path allowlist
+
+    @property
+    def ok(self) -> bool:
+        """True iff the scanned tree honours every rule."""
+        return not self.violations
+
+    def counts(self) -> dict[str, int]:
+        """Violations per rule id, only rules that fired, sorted by id."""
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_dict(self) -> dict:
+        """The versioned JSON payload (sorted keys when dumped)."""
+        return {
+            "version": REPORT_SCHEMA_VERSION,
+            "files_scanned": self.files_scanned,
+            "suppressed": self.suppressed,
+            "allowed": self.allowed,
+            "counts": self.counts(),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "LintReport":
+        version = payload.get("version")
+        if version != REPORT_SCHEMA_VERSION:
+            raise ExperimentError(
+                f"unsupported lint report version {version!r} "
+                f"(this build reads version {REPORT_SCHEMA_VERSION})"
+            )
+        return cls(
+            violations=tuple(
+                Violation.from_dict(entry) for entry in payload["violations"]
+            ),
+            files_scanned=int(payload["files_scanned"]),
+            suppressed=int(payload.get("suppressed", 0)),
+            allowed=int(payload.get("allowed", 0)),
+        )
+
+    def render_text(self) -> str:
+        """The human report: one line per violation plus a summary line."""
+        lines = [violation.render() for violation in self.violations]
+        if self.violations:
+            per_rule = ", ".join(
+                f"{rule}={count}" for rule, count in self.counts().items()
+            )
+            lines.append(
+                f"{len(self.violations)} violation(s) in {self.files_scanned} "
+                f"file(s) [{per_rule}]"
+            )
+        else:
+            lines.append(
+                f"clean: {self.files_scanned} file(s), 0 violations "
+                f"({self.suppressed} suppressed inline, "
+                f"{self.allowed} allowed by config)"
+            )
+        return "\n".join(lines)

@@ -16,7 +16,6 @@ comparable point by point.
 from __future__ import annotations
 
 import math
-from typing import Callable
 
 from repro.errors import ExperimentError
 

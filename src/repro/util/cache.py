@@ -19,6 +19,8 @@ import weakref
 from collections import OrderedDict
 from typing import Callable, Generic, Hashable, Optional, TypeVar
 
+from repro.errors import ConfigurationError
+
 V = TypeVar("V")
 
 #: every live BoundedCache, so one call can empty them all (test isolation,
@@ -50,7 +52,7 @@ class BoundedCache(Generic[V]):
 
     def __init__(self, maxsize: int):
         if maxsize < 1:
-            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+            raise ConfigurationError(f"maxsize must be >= 1, got {maxsize}")
         self.maxsize = maxsize
         self._data: OrderedDict[Hashable, V] = OrderedDict()
         _REGISTRY.add(self)

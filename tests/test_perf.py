@@ -25,7 +25,7 @@ from repro.core.config import MPILConfig
 from repro.core.identifiers import IdSpace
 from repro.core.network import MPILNetwork
 from repro.core.routing import decide_forwarding
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments.cli import main
 from repro.experiments.runner import TaskOutcome
 from repro.experiments.store import ResultStore
@@ -548,7 +548,7 @@ class TestBoundedCache:
         assert len(cache) == 2
 
     def test_maxsize_validated(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             BoundedCache(maxsize=0)
 
     def test_clear_all_caches_empties_instances(self):

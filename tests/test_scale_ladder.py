@@ -7,7 +7,6 @@ from __future__ import annotations
 import dataclasses
 import json
 
-import numpy as np
 import pytest
 
 from repro import api
@@ -24,7 +23,6 @@ from repro.experiments.cli import main
 from repro.experiments.compose import compose_spec
 from repro.experiments.registry import run_experiment
 from repro.experiments.scales import (
-    SCALES,
     BudgetSpec,
     Scale,
     ServiceSpec,

@@ -15,7 +15,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.experiments import run_experiment
 from repro.experiments.ext_outage import run as run_outage
-from repro.experiments.perturbed import build_testbed
 from repro.overlay.transit_stub import TransitStubUnderlay
 from repro.pastry.config import PastryConfig
 from repro.pastry.rejoin import IntervalRejoinAvailability

@@ -4,6 +4,7 @@ replicate aggregation."""
 from __future__ import annotations
 
 import json
+import pathlib
 
 import pytest
 
@@ -75,6 +76,25 @@ class TestStoreLayout:
             store.save(make_result(float(seed)), seed=seed)
         assert store.seeds("figx", "smoke") == [1, 3, 5]
         assert store.seeds("unknown", "smoke") == []
+
+    def test_seeds_order_independent_of_filesystem_enumeration(
+        self, tmp_path, monkeypatch
+    ):
+        # directory enumeration order is filesystem-dependent; seeds()
+        # must not leak it into manifests/aggregation.  Force glob to
+        # yield a scrambled order and include seed_10 vs seed_9 to catch
+        # lexicographic sorting too.
+        store = ResultStore(tmp_path)
+        for seed in (10, 2, 9, 0):
+            store.save(make_result(float(seed)), seed=seed)
+
+        real_glob = pathlib.Path.glob
+
+        def scrambled_glob(self, pattern):
+            return reversed(sorted(real_glob(self, pattern)))
+
+        monkeypatch.setattr(pathlib.Path, "glob", scrambled_glob)
+        assert store.seeds("figx", "smoke") == [0, 2, 9, 10]
 
     def test_manifest_records_provenance(self, tmp_path):
         store = ResultStore(tmp_path)
