@@ -14,6 +14,10 @@ Four verbs cover the workflow end to end:
   checksums) without running anything;
 - :func:`compose` — build a runnable spec from a declarative TOML file or
   dict (see :mod:`repro.experiments.compose`), no module required;
+- :func:`telemetry` — run one experiment with span recording on and get
+  back the result together with its span stream and metrics snapshot
+  (see :mod:`repro.telemetry`); the run itself is byte-identical to an
+  untraced one;
 - :func:`lint` — run the determinism-contract static analyzer
   (:mod:`repro.lint`) over source trees and return the
   :class:`~repro.lint.report.LintReport` the CI gate checks.
@@ -40,6 +44,7 @@ through the result store.
 
 from __future__ import annotations
 
+import dataclasses
 import pathlib
 from typing import Iterable, Mapping, Optional, Union
 
@@ -66,6 +71,7 @@ from repro.experiments.scales import (
 from repro.experiments.spec import ExperimentSpec
 from repro.experiments.store import ResultStore
 from repro.lint import LintConfig, LintReport, lint_paths as _lint_paths
+from repro.telemetry import SpanRecorder, Telemetry
 
 __all__ = [
     "ExperimentResult",
@@ -74,6 +80,7 @@ __all__ = [
     "LintReport",
     "Scale",
     "SweepReport",
+    "TelemetryRun",
     "compose",
     "get",
     "get_scale",
@@ -86,6 +93,7 @@ __all__ = [
     "serve",
     "sweep",
     "sweep_status",
+    "telemetry",
     "unregister",
     "unregister_scale",
 ]
@@ -218,6 +226,51 @@ def sweep_status(
     if isinstance(store, (str, pathlib.Path)):
         store = ResultStore(store)
     return store.ledger.rows(experiment_id=experiment, scale=scale)
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryRun:
+    """What :func:`telemetry` returns: the result plus its observations.
+
+    ``spans`` is the full :class:`~repro.telemetry.SpanRecorder` (iterate
+    it, filter with ``spans.spans(...)``, or export via
+    :mod:`repro.telemetry.sinks`); ``metrics`` is the run registry's final
+    deterministic snapshot.
+    """
+
+    result: ExperimentResult
+    spans: SpanRecorder
+    metrics: dict
+
+
+def telemetry(
+    experiment: Union[str, ExperimentSpec],
+    scale: Union[str, Scale] = "default",
+    seed: int = 0,
+    max_spans: Optional[int] = 200_000,
+) -> TelemetryRun:
+    """Run one experiment with span recording on (the ``trace`` command's
+    programmatic face).
+
+    Tracing never perturbs the run: the result is byte-identical to
+    :func:`run` with the same arguments.  ``max_spans`` bounds the
+    recorder (excess spans are counted in ``spans.dropped``, not silently
+    lost); ``None`` removes the cap.
+
+    >>> from repro import api
+    >>> traced = api.telemetry("fig9", scale="smoke", seed=1)
+    >>> traced.result == api.run("fig9", scale="smoke", seed=1)
+    True
+    >>> len(traced.spans) > 0
+    True
+    """
+    handle = Telemetry.with_spans(max_spans=max_spans)
+    spec = get_spec(experiment) if isinstance(experiment, str) else experiment
+    result = spec.run(scale=scale, seed=seed, telemetry=handle)
+    assert handle.spans is not None
+    return TelemetryRun(
+        result=result, spans=handle.spans, metrics=handle.metrics.snapshot()
+    )
 
 
 def compose(

@@ -16,6 +16,7 @@ from repro.core.identifiers import Identifier
 from repro.core.replicas import ReplicaDirectory
 from repro.errors import RoutingError
 from repro.overlay.graph import OverlayGraph
+from repro.telemetry import current as current_telemetry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -47,6 +48,25 @@ def flood_lookup(
     if ttl < 0:
         raise RoutingError(f"ttl must be non-negative, got {ttl}")
 
+    telemetry = current_telemetry()
+    spans = telemetry.spans  # None unless the run opted into tracing
+    # span ids of the sends that delivered each frontier entry, in lockstep
+    # with ``frontier`` (only when tracing is on)
+    span_parents: collections.deque[int] = collections.deque()
+    trace_id = ""
+    if spans is not None:
+        trace_id = spans.begin_trace("flood-lookup")
+        span_parents.append(
+            spans.emit(
+                trace_id,
+                "flood-lookup",
+                node=origin,
+                start=0.0,
+                object=str(object_id),
+                ttl=ttl,
+            )
+        )
+
     replies: list[tuple[int, int]] = []
     traffic = 0
     seen = {origin}
@@ -55,8 +75,18 @@ def flood_lookup(
     frontier.append((origin, 0, -1))
     while frontier:
         node, hop, parent = frontier.popleft()
+        parent_sid = span_parents.popleft() if spans is not None else None
         if directory.has(node, object_id):
             replies.append((node, hop))
+            if spans is not None:
+                spans.emit(
+                    trace_id,
+                    "reply",
+                    node=node,
+                    start=float(hop),
+                    parent_id=parent_sid,
+                    hop=hop,
+                )
             continue  # a holder answers and stops forwarding
         if hop >= ttl:
             continue
@@ -65,10 +95,32 @@ def flood_lookup(
                 continue
             traffic += 1
             if neighbor in seen:
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "dup-drop",
+                        node=neighbor,
+                        start=float(hop + 1),
+                        parent_id=parent_sid,
+                    )
                 continue
             seen.add(neighbor)
             frontier.append((neighbor, hop + 1, node))
+            if spans is not None:
+                span_parents.append(
+                    spans.emit(
+                        trace_id,
+                        "send",
+                        node=node,
+                        start=float(hop),
+                        end=float(hop + 1),
+                        parent_id=parent_sid,
+                        to=neighbor,
+                    )
+                )
     replies.sort(key=lambda item: item[1])
+    telemetry.metrics.inc("flood_lookups_total")
+    telemetry.metrics.inc("flood_messages_total", traffic)
     return BaselineLookupResult(
         object_id=object_id,
         origin=origin,

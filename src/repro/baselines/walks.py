@@ -24,6 +24,7 @@ from repro.core.replicas import ReplicaDirectory
 from repro.errors import RoutingError
 from repro.overlay.graph import OverlayGraph
 from repro.sim.rng import derive_rng
+from repro.telemetry import current as current_telemetry
 
 
 def random_walk_lookup(
@@ -44,25 +45,76 @@ def random_walk_lookup(
         raise RoutingError(f"max_steps must be non-negative, got {max_steps}")
     rng = rng if rng is not None else derive_rng(0, "random-walk-lookup")
 
+    telemetry = current_telemetry()
+    spans = telemetry.spans  # None unless the run opted into tracing
+    trace_id = ""
+    root_sid = None
+    if spans is not None:
+        trace_id = spans.begin_trace("walk-lookup")
+        root_sid = spans.emit(
+            trace_id,
+            "walk-lookup",
+            node=origin,
+            start=0.0,
+            object=str(object_id),
+            walkers=walkers,
+        )
+
     replies: list[tuple[int, int]] = []
     traffic = 0
     contacted = {origin}
-    for _walker in range(walkers):
+    for walker in range(walkers):
         node = origin
+        parent_sid = root_sid
+        if spans is not None:
+            parent_sid = spans.emit(
+                trace_id,
+                "walker",
+                node=origin,
+                start=0.0,
+                parent_id=root_sid,
+                walker=walker,
+            )
         if directory.has(node, object_id):
             replies.append((node, 0))
+            if spans is not None:
+                spans.emit(
+                    trace_id, "reply", node=node, start=0.0, parent_id=parent_sid, hop=0
+                )
             continue
         for step in range(1, max_steps + 1):
             neighbors = overlay.neighbors(node)
             if not neighbors:
                 break
+            previous = node
             node = rng.choice(neighbors)
             traffic += 1
             contacted.add(node)
+            if spans is not None:
+                parent_sid = spans.emit(
+                    trace_id,
+                    "send",
+                    node=previous,
+                    start=float(step - 1),
+                    end=float(step),
+                    parent_id=parent_sid,
+                    to=node,
+                )
             if directory.has(node, object_id):
                 replies.append((node, step))
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "reply",
+                        node=node,
+                        start=float(step),
+                        parent_id=parent_sid,
+                        hop=step,
+                    )
                 break
     replies.sort(key=lambda item: item[1])
+    telemetry.metrics.inc("walk_lookups_total")
+    telemetry.metrics.inc("walk_messages_total", traffic)
     return BaselineLookupResult(
         object_id=object_id,
         origin=origin,

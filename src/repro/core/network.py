@@ -32,6 +32,7 @@ from repro.overlay.graph import OverlayGraph
 from repro.sim.engine import add_events_processed
 from repro.sim.rng import derive_rng
 from repro.sim.trace import TraceRecorder
+from repro.telemetry import current as current_telemetry
 from repro.util.cache import BoundedCache
 
 #: node identifiers are a pure function of (seed, n, space); sweeps and
@@ -246,6 +247,9 @@ class MPILNetwork:
         rng = derive_rng(self.seed, "request", request_id)
         cfg = self.config
 
+        telemetry = current_telemetry()
+        spans = telemetry.spans  # None unless the run opted into tracing
+
         queue: collections.deque[MPILMessage] = collections.deque()
         queue.append(
             MPILMessage(
@@ -262,6 +266,22 @@ class MPILNetwork:
                 given_flows=0,
             )
         )
+        # span ids of the "send" spans that delivered each queued message,
+        # kept in lockstep with ``queue`` (only when tracing is on)
+        parents: collections.deque[Optional[int]] = collections.deque()
+        trace_id = ""
+        if spans is not None:
+            trace_id = spans.begin_trace(kind)
+            parents.append(
+                spans.emit(
+                    trace_id,
+                    kind,
+                    node=origin,
+                    start=0.0,
+                    request=request_id,
+                    object=str(object_id),
+                )
+            )
 
         processed: set[int] = set()
         received: set[int] = set()
@@ -286,9 +306,19 @@ class MPILNetwork:
             events += 1
             if msg.hop > max_hop:
                 max_hop = msg.hop
+            parent_id = parents.popleft() if spans is not None else None
 
             if node in received:
                 duplicates += 1
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "dup-drop" if suppress else "dup",
+                        node=node,
+                        start=float(msg.hop),
+                        parent_id=parent_id,
+                        request=request_id,
+                    )
                 if suppress:
                     continue
             received.add(node)
@@ -305,6 +335,16 @@ class MPILNetwork:
                     traffic_at_first_reply = traffic
                 if self.trace is not None:
                     self.trace.emit(msg.hop, "reply", node, request=request_id)
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "reply",
+                        node=node,
+                        start=float(msg.hop),
+                        parent_id=parent_id,
+                        request=request_id,
+                        hop=msg.hop,
+                    )
                 continue
 
             scores = scores_with_self(node, object_id)
@@ -330,6 +370,15 @@ class MPILNetwork:
                         stored.append(node)
                     if self.trace is not None:
                         self.trace.emit(msg.hop, "store", node, request=request_id)
+                    if spans is not None:
+                        spans.emit(
+                            trace_id,
+                            "store",
+                            node=node,
+                            start=float(msg.hop),
+                            parent_id=parent_id,
+                            request=request_id,
+                        )
                 replicas_left -= 1
                 if replicas_left <= 0:
                     continue
@@ -347,8 +396,33 @@ class MPILNetwork:
                     self.trace.emit(
                         msg.hop, "send", node, to=next_node, request=request_id
                     )
+                if spans is not None:
+                    parents.append(
+                        spans.emit(
+                            trace_id,
+                            "send",
+                            node=node,
+                            start=float(msg.hop),
+                            end=float(msg.hop + 1),
+                            parent_id=parent_id,
+                            to=next_node,
+                            request=request_id,
+                        )
+                    )
 
         add_events_processed(events)
+        metrics = telemetry.metrics
+        metrics.inc("mpil_requests_total", kind=kind)
+        if traffic:
+            metrics.inc("mpil_messages_total", traffic, kind=kind)
+        if duplicates:
+            metrics.inc("mpil_duplicates_total", duplicates, kind=kind)
+        if is_lookup:
+            if replies:
+                metrics.inc("mpil_replies_total", len(replies))
+        elif stored:
+            metrics.inc("mpil_replicas_stored_total", len(stored))
+        metrics.histogram("mpil_request_max_hop", kind=kind).observe(max_hop)
         return {
             "stored": stored,
             "replies": replies,

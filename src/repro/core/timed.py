@@ -32,6 +32,7 @@ from repro.sim.counters import TrafficCounters
 from repro.sim.engine import EventScheduler
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.rng import derive_rng
+from repro.telemetry import current as current_telemetry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -231,12 +232,52 @@ class TimedMPILNetwork:
             self.ids[0].digits
         )
 
+        telemetry = current_telemetry()
+        spans = telemetry.spans  # None unless the run opted into tracing
+        metrics = telemetry.metrics
+        # span id of the "send" that will deliver each in-flight message,
+        # keyed by message identity (the scheduler keeps the message alive
+        # until ``process`` pops the entry); never iterated, so id() keys
+        # cannot perturb ordering
+        span_parent: dict[int, int] = {}
+        trace_id = ""
+        root_sid: Optional[int] = None
+        if spans is not None:
+            trace_id = spans.begin_trace("timed-lookup")
+            root_sid = spans.emit(
+                trace_id,
+                "timed-lookup",
+                node=origin,
+                start=launch_time,
+                request=request_id,
+                object=str(object_id),
+            )
+
         def finish_event() -> None:
             """Retire one executed message/reply event; the request is
             complete when none remain outstanding."""
             pending.outstanding -= 1
             if pending.outstanding == 0 and not pending.done:
                 pending.done = True
+                metrics.inc("timed_lookups_total")
+                if pending.replies:
+                    metrics.inc("timed_lookups_success_total")
+                metrics.inc("timed_messages_total", counters.messages_sent)
+                if counters.lost_offline:
+                    metrics.inc("timed_lost_offline_total", counters.lost_offline)
+                if counters.duplicates:
+                    metrics.inc("timed_duplicates_total", counters.duplicates)
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "complete",
+                        node=origin,
+                        start=launch_time,
+                        end=engine.now,
+                        parent_id=root_sid,
+                        success=pending.success,
+                        messages=counters.messages_sent,
+                    )
                 if on_complete is not None:
                     on_complete(pending)
 
@@ -261,13 +302,32 @@ class TimedMPILNetwork:
             engine.post(arrival, process, msg)
 
         def process(msg: MPILMessage) -> None:
+            parent_id = span_parent.pop(id(msg), root_sid) if spans is not None else None
             try:
                 node = msg.at
                 if not self.availability.is_online(node, engine.now):
                     counters.lost_offline += 1
+                    if spans is not None:
+                        spans.emit(
+                            trace_id,
+                            "lost-offline",
+                            node=node,
+                            start=engine.now,
+                            parent_id=parent_id,
+                            request=request_id,
+                        )
                     return
                 if node in received:
                     counters.duplicates += 1
+                    if spans is not None:
+                        spans.emit(
+                            trace_id,
+                            "dup-drop" if suppress else "dup",
+                            node=node,
+                            start=engine.now,
+                            parent_id=parent_id,
+                            request=request_id,
+                        )
                     if suppress:
                         return
                 received.add(node)
@@ -276,10 +336,30 @@ class TimedMPILNetwork:
                 processed.add(node)
 
                 if directory.has(node, object_id):
+                    if spans is not None:
+                        spans.emit(
+                            trace_id,
+                            "reply",
+                            node=node,
+                            start=engine.now,
+                            parent_id=parent_id,
+                            request=request_id,
+                            hop=msg.hop,
+                        )
                     deliver_reply(node, msg.hop)
                     return
                 if msg.hop >= max_hops:
                     counters.drops_hop_limit += 1
+                    if spans is not None:
+                        spans.emit(
+                            trace_id,
+                            "drop",
+                            node=node,
+                            start=engine.now,
+                            parent_id=parent_id,
+                            request=request_id,
+                            reason="hop-limit",
+                        )
                     return
 
                 scores = metric_table.scores_with_self(node, object_id)
@@ -304,6 +384,16 @@ class TimedMPILNetwork:
                 for next_node, budget in zip(decision.next_hops, decision.budgets):
                     child = msg.child(next_node, budget)
                     child.replicas_left = replicas_left
+                    if spans is not None:
+                        span_parent[id(child)] = spans.emit(
+                            trace_id,
+                            "send",
+                            node=node,
+                            start=engine.now,
+                            parent_id=parent_id,
+                            to=next_node,
+                            request=request_id,
+                        )
                     send(child, node)
             finally:
                 finish_event()
@@ -322,6 +412,8 @@ class TimedMPILNetwork:
             given_flows=0,
         )
         pending.outstanding += 1
+        if spans is not None and root_sid is not None:
+            span_parent[id(initial)] = root_sid
         engine.post(launch_time, process, initial)
         return pending
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import math
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 from repro.errors import ExperimentError
 from repro.util.tables import render_table
@@ -48,6 +48,12 @@ class ExperimentResult:
     #: tables; service-mode experiments extend it with cross-seed
     #: ``_p50/_p95/_p99`` percentiles (tail behavior is their measurand).
     stat_suffixes: tuple[str, ...] = DEFAULT_STAT_SUFFIXES
+    #: per-cell telemetry snapshots attached by :meth:`ExperimentSpec.run
+    #: <repro.experiments.spec.ExperimentSpec.run>` — run *metadata*,
+    #: deliberately excluded from :meth:`to_dict` (artifact bytes stay
+    #: telemetry-independent) and from equality (a reloaded artifact
+    #: compares equal to the run that produced it)
+    metrics: Optional[dict] = dataclasses.field(default=None, compare=False)
 
     def table(self, float_digits: int = 3) -> str:
         header = f"{self.experiment_id}: {self.title} [scale={self.scale}]"

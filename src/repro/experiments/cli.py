@@ -1,6 +1,6 @@
-"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|compose|serve|perf|lint``.
+"""Command-line interface: ``mpil-experiments list|scenarios|run|sweep|status|trace|compose|serve|perf|lint``.
 
-Nine commands:
+Ten commands:
 
 - ``list`` — show every registered experiment id and title, with
   ``--tags`` filtering on the registry metadata (``list --tags ext``);
@@ -19,7 +19,13 @@ Nine commands:
   workers (see :mod:`repro.experiments.runner`,
   :mod:`repro.experiments.runtime`, :mod:`repro.experiments.store`);
 - ``status`` — render one experiment's ledger progress (done/running/
-  failed/pending per seed, attempts, errors) without running anything;
+  failed/pending per seed, attempts, errors) without running anything,
+  plus the per-task telemetry summary indexed in the ledger;
+- ``trace`` — re-run one experiment with span recording on and print a
+  parent-linked hop tree for a recorded trace (every send/forward/
+  dup-drop/reply of one lookup or insert, in causal order); ``--kind``/
+  ``--node`` select which traces, ``--out`` exports them as sorted JSONL
+  (see :mod:`repro.telemetry`);
 - ``compose`` — build an experiment from a declarative TOML/JSON spec
   (see :mod:`repro.experiments.compose`) and run it, no module required;
 - ``serve`` — run a sustained-traffic service experiment (open-loop
@@ -57,6 +63,8 @@ Examples::
     mpil-experiments sweep fig9 --seeds 0,2,5 --scale smoke --format csv
     mpil-experiments sweep fig9 --seeds 0..99 --jobs 4 --resume --task-timeout 300
     mpil-experiments status fig9 --out results
+    mpil-experiments trace fig9 --scale smoke --seed 1
+    mpil-experiments trace ext-outage --scale smoke --kind lookup --out spans.jsonl
     mpil-experiments compose my-sweep.toml --scale smoke --seed 1
     mpil-experiments serve svc-outage --scale smoke --rate 2 --format json
     mpil-experiments perf fig9 ext-outage --scale smoke --check benchmarks/baseline.json
@@ -95,6 +103,9 @@ from repro.lint import all_rules, get_rule, lint_paths, load_config
 from repro.perf.profiler import profile_experiment, write_bench
 from repro.perf.regression import check_budgets, check_regressions, write_baseline
 from repro.perturbation.scenario import get_family, scenario_families, scenarios_for
+from repro.telemetry import Telemetry
+from repro.telemetry.progress import ProgressMeter, service_window_line
+from repro.telemetry.sinks import render_hop_tree, write_jsonl
 from repro.util.cache import clear_all_caches
 
 
@@ -160,6 +171,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "result-store root: writes <out>/<id>/<scale>/seed_<n>.json plus "
             "one <id>_<scale>_seed<n>.txt table per experiment"
+        ),
+    )
+    run_parser.add_argument(
+        "--trace",
+        type=pathlib.Path,
+        default=None,
+        metavar="JSONL",
+        help=(
+            "record telemetry spans and export them as sorted JSONL "
+            "(with several experiments the id is appended to the filename)"
         ),
     )
 
@@ -237,6 +258,44 @@ def build_parser() -> argparse.ArgumentParser:
         type=pathlib.Path,
         default=pathlib.Path("results"),
         help="result-store root holding the ledger (default: results/)",
+    )
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one experiment with span recording and print a hop tree",
+    )
+    trace_parser.add_argument("experiment", help="experiment id")
+    trace_parser.add_argument(
+        "--scale",
+        default="smoke",
+        metavar="SCALE",
+        help=_scale_help(" (default: smoke)"),
+    )
+    trace_parser.add_argument("--seed", type=int, default=0, help="root seed")
+    trace_parser.add_argument(
+        "--kind",
+        default=None,
+        help="only traces of this kind (e.g. lookup, insert, timed-lookup)",
+    )
+    trace_parser.add_argument(
+        "--node",
+        type=int,
+        default=None,
+        help="only traces that touch this node id",
+    )
+    trace_parser.add_argument(
+        "--trees",
+        type=int,
+        default=1,
+        metavar="N",
+        help="hop trees to print from the matching traces (default: 1)",
+    )
+    trace_parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=None,
+        metavar="JSONL",
+        help="also export every matching span as sorted JSONL",
     )
 
     compose_parser = sub.add_parser(
@@ -509,16 +568,47 @@ def _persist_replicate(
     path.write_text(text + "\n")
 
 
+def _trace_destination(
+    trace: pathlib.Path, experiment_id: str, many: bool
+) -> pathlib.Path:
+    """Where one experiment's spans go: ``--trace`` verbatim for a single
+    experiment, id-qualified for several (so runs never overwrite)."""
+    if not many:
+        return trace
+    return trace.with_name(f"{trace.stem}_{experiment_id}{trace.suffix or '.jsonl'}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     store = _make_store(args.out) if args.out is not None else None
-    for experiment_id in _requested_ids(args.experiments):
+    experiment_ids = _requested_ids(args.experiments)
+    for experiment_id in experiment_ids:
+        # one handle per experiment so metrics blobs and trace files never
+        # mix counts or spans across experiments in a multi-id invocation
+        telemetry = (
+            Telemetry.with_spans() if args.trace is not None else Telemetry()
+        )
         started = time.perf_counter()
-        result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        result = run_experiment(
+            experiment_id, scale=args.scale, seed=args.seed, telemetry=telemetry
+        )
         elapsed = time.perf_counter() - started
         text = result.table()
         print(text)
         print(f"({experiment_id} completed in {elapsed:.1f}s)\n")
+        if args.trace is not None and telemetry.spans is not None:
+            destination = _trace_destination(
+                args.trace, experiment_id, many=len(experiment_ids) > 1
+            )
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            count = write_jsonl(telemetry.spans, destination)
+            dropped = telemetry.spans.dropped
+            suffix = f" ({dropped} dropped)" if dropped else ""
+            print(
+                f"({count} spans{suffix} -> {destination})", file=sys.stderr
+            )
         if store is not None:
+            # store.save falls back to result.metrics, so the telemetry
+            # blob rides along without an extra argument here
             _persist_replicate(store, result, args.seed, elapsed, text)
     return 0
 
@@ -551,9 +641,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     scale = with_service_overrides(
         args.scale, rate=args.rate, duration=args.duration, window=args.window
     )
+    telemetry = Telemetry()
     started = time.perf_counter()
-    result = spec.run(scale=scale, seed=args.seed)
+    result = spec.run(scale=scale, seed=args.seed, telemetry=telemetry)
     elapsed = time.perf_counter() - started
+    for line in _service_window_lines(telemetry):
+        print(line, file=sys.stderr)
     if args.format == "json":
         # pure JSON on stdout so scripted callers (e.g. the CI smoke step)
         # can parse it directly
@@ -568,6 +661,28 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_window_lines(telemetry: Telemetry) -> list[str]:
+    """Per-window service lines rendered from the run's registry gauges."""
+    by_window: dict[tuple[str, int], dict[str, float]] = {}
+    for gauge in telemetry.metrics.series(kind="gauge"):
+        if not gauge.name.startswith("svc_window_"):
+            continue
+        labels = dict(gauge.labels)
+        key = (str(labels.get("variant", "?")), int(str(labels.get("window", 0))))
+        by_window.setdefault(key, {})[gauge.name] = float(gauge.value)
+    return [
+        service_window_line(
+            variant=variant,
+            window_index=window,
+            arrivals=int(values.get("svc_window_arrivals", 0)),
+            success_rate=values.get("svc_window_success_rate", 0.0),
+            p99=values.get("svc_window_p99", 0.0),
+            in_flight=int(values.get("svc_window_in_flight", 0)),
+        )
+        for (variant, window), values in sorted(by_window.items())
+    ]
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     spec = SweepSpec(
         experiment_ids=tuple(_requested_ids(args.experiments)),
@@ -575,12 +690,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scale=args.scale,
     )
     store = ResultStore(args.out)
+    meter = ProgressMeter(total_tasks=len(spec.tasks()))
 
     def progress(outcome: TaskOutcome) -> None:
+        meter.task_finished(ok=True, events_processed=outcome.events_processed)
         print(
-            f"[{outcome.experiment_id} seed={outcome.seed}] "
-            f"{outcome.wall_clock:.1f}s, {outcome.events_processed} events "
-            f"({outcome.events_per_sec:.0f}/s) -> "
+            f"{meter.line(label=f'{outcome.experiment_id} seed={outcome.seed}')} "
+            f"({outcome.wall_clock:.1f}s) -> "
             f"{store.seed_path(outcome.experiment_id, outcome.scale, outcome.seed)}",
             file=sys.stderr,
         )
@@ -647,6 +763,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"no ledger entries for {where}experiment {args.experiment!r} "
             f"under {args.out}"
         )
+    records = {
+        (record.scale, record.seed): record
+        for record in store.ledger.query_results(
+            experiment_id=args.experiment, scale=args.scale
+        )
+    }
     by_scale: dict[str, list] = {}
     for row in rows:
         by_scale.setdefault(row.scale, []).append(row)
@@ -666,6 +788,86 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 f"  seed {row.seed:<6d} {row.state:<8s} "
                 f"attempts={row.attempts}  {detail}"
             )
+            record = records.get((row.scale, row.seed))
+            if record is not None and record.metrics:
+                line = _metrics_status_line(record.metrics)
+                if line:
+                    print(f"    metrics: {line}")
+    return 0
+
+
+def _metrics_status_line(metrics: dict) -> str:
+    """One compact line from a replicate's indexed telemetry summary:
+    series count plus the largest scalar series (histograms elided)."""
+    final = metrics.get("final") or {}
+    scalars = {
+        key: value
+        for key, value in final.items()
+        if isinstance(value, (int, float))
+    }
+    parts = [f"{len(final)} series"]
+    highlights = sorted(scalars.items(), key=lambda item: (-item[1], item[0]))[:3]
+    parts += [f"{key}={value:g}" for key, value in highlights]
+    spans = metrics.get("spans")
+    if spans:
+        parts.append(f"spans={spans.get('recorded', 0)}")
+    return ", ".join(parts)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    telemetry = Telemetry.with_spans()
+    started = time.perf_counter()
+    run_experiment(
+        args.experiment, scale=args.scale, seed=args.seed, telemetry=telemetry
+    )
+    elapsed = time.perf_counter() - started
+    recorder = telemetry.spans
+    assert recorder is not None
+    all_trace_ids = recorder.trace_ids()
+    kinds = sorted({trace_id.split(":", 1)[1] for trace_id in all_trace_ids})
+    selected = all_trace_ids
+    if args.kind is not None:
+        selected = [
+            trace_id
+            for trace_id in selected
+            if trace_id.split(":", 1)[1] == args.kind
+        ]
+        if not selected:
+            raise ExperimentError(
+                f"no {args.kind!r} traces in {args.experiment} "
+                f"(scale {args.scale}, seed {args.seed}); recorded kinds: "
+                f"{', '.join(kinds) or 'none'}"
+            )
+    if args.node is not None:
+        selected = [
+            trace_id
+            for trace_id in selected
+            if recorder.spans(trace_id=trace_id, node=args.node)
+        ]
+        if not selected:
+            raise ExperimentError(
+                f"no matching traces touch node {args.node} in "
+                f"{args.experiment} (scale {args.scale}, seed {args.seed})"
+            )
+    dropped = f", {recorder.dropped} dropped" if recorder.dropped else ""
+    print(
+        f"{args.experiment} scale={args.scale} seed={args.seed}: "
+        f"{len(recorder)} spans in {len(all_trace_ids)} traces{dropped}; "
+        f"{len(selected)} traces match ({elapsed:.1f}s)",
+        file=sys.stderr,
+    )
+    for trace_id in selected[: max(args.trees, 0)]:
+        print()
+        print(render_hop_tree(recorder.spans(trace_id=trace_id), trace_id=trace_id))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        spans = [
+            span
+            for trace_id in selected
+            for span in recorder.spans(trace_id=trace_id)
+        ]
+        count = write_jsonl(spans, args.out)
+        print(f"({count} spans -> {args.out})", file=sys.stderr)
     return 0
 
 
@@ -771,6 +973,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_lint(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         return _cmd_sweep(args)
     except (ExperimentError, ConfigurationError) as exc:
         # one line per expected user-facing error (unknown ids/scenarios,

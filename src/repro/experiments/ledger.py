@@ -42,6 +42,7 @@ from __future__ import annotations
 import dataclasses
 import datetime
 import hashlib
+import json
 import pathlib
 import sqlite3
 from typing import Iterable, Optional, Sequence, Union
@@ -77,6 +78,7 @@ CREATE TABLE IF NOT EXISTS results (
     wall_clock       REAL NOT NULL,
     events_processed INTEGER NOT NULL,
     written_at       TEXT NOT NULL,
+    metrics          TEXT NOT NULL DEFAULT '{}',
     PRIMARY KEY (experiment_id, scale, seed)
 );
 CREATE INDEX IF NOT EXISTS idx_tasks_state ON tasks (state);
@@ -126,6 +128,9 @@ class ResultRecord:
     wall_clock: float
     events_processed: int
     written_at: str
+    #: compact telemetry summary (final metrics snapshot + span counts);
+    #: empty for replicates saved before telemetry existed
+    metrics: dict = dataclasses.field(default_factory=dict)
 
 
 class TaskLedger:
@@ -144,8 +149,23 @@ class TaskLedger:
             self._conn.row_factory = sqlite3.Row
             with self._conn:
                 self._conn.executescript(_SCHEMA)
+            self._migrate()
         except sqlite3.OperationalError as exc:
             raise LedgerError(f"cannot open ledger at {self.path}: {exc}") from None
+
+    def _migrate(self) -> None:
+        """Add columns newer code expects to databases created by older
+        code (``CREATE TABLE IF NOT EXISTS`` never alters an existing
+        table).  Idempotent; pre-migration rows get the declared default."""
+        columns = {
+            row["name"]
+            for row in self._conn.execute("PRAGMA table_info(results)").fetchall()
+        }
+        if "metrics" not in columns:
+            with self._conn:
+                self._conn.execute(
+                    "ALTER TABLE results ADD COLUMN metrics TEXT NOT NULL DEFAULT '{}'"
+                )
 
     def close(self) -> None:
         self._conn.close()
@@ -347,7 +367,8 @@ class TaskLedger:
         self._execute(
             "INSERT OR REPLACE INTO results "
             "(experiment_id, scale, seed, path, checksum, rows, wall_clock, "
-            " events_processed, written_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            " events_processed, written_at, metrics) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 record.experiment_id,
                 record.scale,
@@ -358,6 +379,7 @@ class TaskLedger:
                 record.wall_clock,
                 record.events_processed,
                 record.written_at,
+                json.dumps(record.metrics, sort_keys=True),
             ),
         )
 
@@ -387,6 +409,7 @@ class TaskLedger:
                 wall_clock=row["wall_clock"],
                 events_processed=row["events_processed"],
                 written_at=row["written_at"],
+                metrics=json.loads(row["metrics"] or "{}"),
             )
             for row in cursor.fetchall()
         ]

@@ -196,12 +196,14 @@ def get_experiment(experiment_id: str) -> tuple[str, RunFunction]:
 
 
 def run_experiment(
-    experiment_id: str, scale: str = "default", seed: int = 0
+    experiment_id: str, scale: str = "default", seed: int = 0, telemetry=None
 ) -> ExperimentResult:
     """Run one experiment by id.
 
     Seed validation (ints only; bools rejected) happens in
     :meth:`ExperimentSpec.run <repro.experiments.spec.ExperimentSpec.run>`,
-    the experiment layer's single choke point.
+    the experiment layer's single choke point.  ``telemetry`` (a
+    :class:`repro.telemetry.Telemetry`) is passed through to it; ``None``
+    runs with spans off.
     """
-    return get_spec(experiment_id).run(scale=scale, seed=seed)
+    return get_spec(experiment_id).run(scale=scale, seed=seed, telemetry=telemetry)

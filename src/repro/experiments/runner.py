@@ -252,6 +252,7 @@ def run_sweep(
                 seed=outcome.seed,
                 wall_clock=outcome.wall_clock,
                 events_processed=outcome.events_processed,
+                metrics=outcome.metrics,
             )
             return file_checksum(path)
 
@@ -309,5 +310,6 @@ def run_and_store(
         seed=seed,
         wall_clock=outcome.wall_clock,
         events_processed=outcome.events_processed,
+        metrics=outcome.metrics,
     )
     return outcome.result

@@ -52,7 +52,8 @@ from repro.errors import ExperimentError
 from repro.experiments.base import ExperimentResult
 from repro.experiments.ledger import TaskKey, TaskLedger
 from repro.experiments.registry import run_experiment
-from repro.sim.engine import events_processed_total, reset_events_processed
+from repro.sim.engine import events_processed_total
+from repro.telemetry import reset_runtime_metrics
 
 #: grace period between observing a dead worker and declaring it crashed,
 #: so a result the child queued just before exiting is not misread as a
@@ -73,6 +74,10 @@ class TaskOutcome:
     payload: dict  #: ExperimentResult.to_dict() output
     wall_clock: float
     events_processed: int
+    #: per-cell metrics snapshots from the run's telemetry registry
+    #: (``ExperimentResult.metrics``); sim-derived values only, so the blob
+    #: is byte-identical across reruns and worker counts
+    metrics: dict = dataclasses.field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -167,13 +172,14 @@ def execute_task(task: TaskKey) -> TaskOutcome:
     """Run one (experiment_id, scale, seed) task; must stay module-level
     (and therefore picklable) so worker processes can receive it.
 
-    The process-wide event counter is *reset* at task start (in whichever
-    worker process executes the task), so the recorded count is exactly
-    this task's events — a before/after subtraction would silently fold in
-    any events a library callback or atexit hook ran between tasks.
+    The process-wide metrics registry (which carries the event counter) is
+    *reset* at task start (in whichever worker process executes the task),
+    so the recorded count is exactly this task's events — a before/after
+    subtraction would silently fold in any events a library callback or
+    atexit hook ran between tasks.
     """
     experiment_id, scale, seed = task
-    reset_events_processed()
+    reset_runtime_metrics()
     started = time.perf_counter()
     result = run_experiment(experiment_id, scale=scale, seed=seed)
     wall_clock = time.perf_counter() - started
@@ -185,6 +191,7 @@ def execute_task(task: TaskKey) -> TaskOutcome:
         payload=payload,
         wall_clock=wall_clock,
         events_processed=events_processed_total(),
+        metrics=result.metrics or {},
     )
 
 

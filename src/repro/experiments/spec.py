@@ -45,6 +45,7 @@ from repro.errors import ExperimentError
 from repro.experiments.base import DEFAULT_STAT_SUFFIXES, ExperimentResult
 from repro.experiments.budget import BudgetGuard
 from repro.experiments.scales import Scale, get_scale
+from repro.telemetry import Telemetry, use as telemetry_scope
 
 #: the overlay/testbed stage: shared state built once per run
 BuildStage = Callable[["RunContext"], Any]
@@ -147,13 +148,24 @@ class ExperimentSpec:
                 f"experiment {self.experiment_id!r} needs a non-empty title"
             )
 
-    def run(self, scale: Union[str, Scale] = "default", seed: int = 0) -> ExperimentResult:
+    def run(
+        self,
+        scale: Union[str, Scale] = "default",
+        seed: int = 0,
+        telemetry: Optional[Telemetry] = None,
+    ) -> ExperimentResult:
         """Execute the pipeline: build once, measure every cell, collect rows.
 
         The resolved scale's :class:`~repro.experiments.scales.BudgetSpec`
         is enforced at every stage boundary — see
         :mod:`repro.experiments.budget`.  Unbudgeted scales (every preset
         up to ``paper``) pay one no-op call per cell.
+
+        ``telemetry`` is installed as the ambient handle for the run (see
+        :mod:`repro.telemetry`); ``None`` gets a fresh spans-off handle, so
+        every run's metrics are scoped to it.  The registry's per-cell
+        snapshots land on ``result.metrics`` (run metadata, never part of
+        the artifact bytes).
         """
         resolved = get_scale(scale)
         if self.scale_transform is not None:
@@ -161,13 +173,34 @@ class ExperimentSpec:
         ctx = RunContext(scale=resolved, seed=validate_seed(seed))
         guard = BudgetGuard(resolved.name, resolved.budget)
         pipeline = self.pipeline
-        built = pipeline.build(ctx)
-        guard.check("the build stage")
-        rows: list[tuple] = []
-        for index, cell in enumerate(pipeline.cells(ctx, built)):
-            rows.extend(pipeline.measure(ctx, built, cell))
-            guard.check(f"cell {index}")
-        notes = pipeline.notes(ctx, built) if callable(pipeline.notes) else pipeline.notes
+        handle = telemetry if telemetry is not None else Telemetry()
+        with telemetry_scope(handle):
+            built = pipeline.build(ctx)
+            guard.check("the build stage")
+            rows: list[tuple] = []
+            cell_snapshots: list[dict] = []
+            for index, cell in enumerate(pipeline.cells(ctx, built)):
+                rows.extend(pipeline.measure(ctx, built, cell))
+                guard.check(f"cell {index}")
+                cell_snapshots.append(handle.metrics.snapshot())
+            notes = (
+                pipeline.notes(ctx, built) if callable(pipeline.notes) else pipeline.notes
+            )
+        metrics_blob = {
+            "experiment": self.experiment_id,
+            "scale": resolved.name,
+            "seed": ctx.seed,
+            "cells": len(cell_snapshots),
+            # snapshots are cumulative at each cell boundary; the last one
+            # is the whole run
+            "per_cell": cell_snapshots,
+            "final": cell_snapshots[-1] if cell_snapshots else handle.metrics.snapshot(),
+        }
+        if handle.spans is not None:
+            metrics_blob["spans"] = {
+                "recorded": len(handle.spans),
+                "dropped": handle.spans.dropped,
+            }
         return ExperimentResult(
             experiment_id=self.experiment_id,
             title=self.title,
@@ -177,6 +210,7 @@ class ExperimentSpec:
             scale=resolved.name,
             key_columns=pipeline.key_columns,
             stat_suffixes=pipeline.stat_suffixes,
+            metrics=metrics_blob,
         )
 
     def matches_tags(self, tags: Iterable[str]) -> bool:

@@ -118,6 +118,21 @@ class RunRecord:
     written_at: str  #: ISO-8601 UTC timestamp of the save
 
 
+def _metrics_summary(metrics: Optional[dict]) -> dict:
+    """Compact index form of a telemetry blob: the final cumulative
+    snapshot plus span accounting, without the per-cell history (the full
+    blob lives in ``seed_<n>.telemetry.json``)."""
+    if not metrics:
+        return {}
+    summary: dict = {
+        "cells": metrics.get("cells", 0),
+        "final": metrics.get("final", {}),
+    }
+    if "spans" in metrics:
+        summary["spans"] = metrics["spans"]
+    return summary
+
+
 def _atomic_write_text(path: pathlib.Path, text: str) -> None:
     """Commit ``text`` to ``path`` via write-then-rename.
 
@@ -174,6 +189,12 @@ class ResultStore:
         """Path of one replicate's JSON artifact."""
         return self.result_dir(experiment_id, scale) / f"seed_{seed}.json"
 
+    def telemetry_path(
+        self, experiment_id: str, scale: str, seed: int
+    ) -> pathlib.Path:
+        """Path of one replicate's telemetry blob (metrics snapshots)."""
+        return self.result_dir(experiment_id, scale) / f"seed_{seed}.telemetry.json"
+
     def manifest_path(self, experiment_id: str, scale: str) -> pathlib.Path:
         """Path of the cell's provenance manifest."""
         return self.result_dir(experiment_id, scale) / "manifest.json"
@@ -186,6 +207,7 @@ class ResultStore:
         seed: int,
         wall_clock: float = 0.0,
         events_processed: int = 0,
+        metrics: Optional[dict] = None,
     ) -> pathlib.Path:
         """Persist one replicate and record its provenance in the manifest
         and the queryable sqlite index.
@@ -194,7 +216,10 @@ class ResultStore:
         timestamps) and committed atomically (write-then-rename), so an
         interrupted save leaves either the old artifact or the new one,
         never a truncated file; wall-clock and event counts go only to the
-        manifest and the index.
+        manifest and the index.  ``metrics`` (the run's telemetry
+        snapshots — sim-derived values only, so deterministic too) is
+        committed the same way to ``seed_<n>.telemetry.json`` and mirrored
+        into the index.
         """
         payload = result.to_dict()
         payload["seed"] = seed
@@ -202,6 +227,13 @@ class ResultStore:
         path = self.seed_path(result.experiment_id, result.scale, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
         _atomic_write_text(path, text)
+        if metrics is None:
+            metrics = result.metrics
+        if metrics:
+            _atomic_write_text(
+                self.telemetry_path(result.experiment_id, result.scale, seed),
+                json.dumps(metrics, sort_keys=True, indent=2) + "\n",
+            )
         written_at = datetime.datetime.now(datetime.timezone.utc).isoformat()
         self._record_run(
             result.experiment_id,
@@ -228,6 +260,7 @@ class ResultStore:
                 wall_clock=round(wall_clock, 6),
                 events_processed=events_processed,
                 written_at=written_at,
+                metrics=_metrics_summary(metrics),
             )
         )
         return path

@@ -39,6 +39,7 @@ from repro.sim.counters import TrafficCounters
 from repro.sim.engine import add_events_processed
 from repro.sim.latency import ConstantLatency, LatencyModel
 from repro.sim.rng import derive_rng
+from repro.telemetry import current as current_telemetry
 from repro.util.cache import BoundedCache
 
 #: ring + leaf sets + routing tables are a pure function of
@@ -186,6 +187,32 @@ class PastryNetwork:
             replicas = (delivery,)
         for node in replicas:
             self.directory.store(node, key, owner=origin)
+        telemetry = current_telemetry()
+        spans = telemetry.spans
+        if spans is not None:
+            trace_id = spans.begin_trace("pastry-insert")
+            parent = spans.emit(
+                trace_id, "pastry-insert", node=origin, start=0.0, key=str(key)
+            )
+            for hop, next_node in enumerate(path[1:]):
+                parent = spans.emit(
+                    trace_id,
+                    "forward",
+                    node=path[hop],
+                    start=float(hop),
+                    end=float(hop + 1),
+                    parent_id=parent,
+                    to=next_node,
+                )
+            spans.emit(
+                trace_id,
+                "store",
+                node=delivery,
+                start=float(len(path) - 1),
+                parent_id=parent,
+                replicas=len(replicas),
+            )
+        telemetry.metrics.inc("pastry_inserts_total")
         return PastryInsertResult(
             key=key,
             origin=origin,
@@ -223,6 +250,16 @@ class PastryNetwork:
         learned_dead: set[int] = set()
         root = self.ring.root_of(key)
 
+        telemetry = current_telemetry()
+        spans = telemetry.spans  # None unless the run opted into tracing
+        trace_id = ""
+        parent_sid: Optional[int] = None
+        if spans is not None:
+            trace_id = spans.begin_trace("pastry-lookup")
+            parent_sid = spans.emit(
+                trace_id, "pastry-lookup", node=origin, start=time, key=str(key)
+            )
+
         while True:
             events += 1
             if hops >= cfg.max_route_hops:
@@ -240,6 +277,15 @@ class PastryNetwork:
                     dropped=True,
                     elapsed=time - start_time,
                 )
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "drop",
+                        node=node,
+                        start=time,
+                        parent_id=parent_sid,
+                        reason="hop-limit",
+                    )
                 break
 
             current = node
@@ -278,6 +324,15 @@ class PastryNetwork:
                     dropped=False,
                     elapsed=time - start_time,
                 )
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "reply" if has_object else "misdeliver",
+                        node=node,
+                        start=time,
+                        parent_id=parent_sid,
+                        hop=hops,
+                    )
                 break
 
             next_node = decision.node
@@ -290,19 +345,48 @@ class PastryNetwork:
                 else:
                     retransmissions += 1
                 arrival = send_time + hop_latency
+                sid: Optional[int] = None
+                if spans is not None:
+                    sid = spans.emit(
+                        trace_id,
+                        "send" if attempt == 0 else "retransmit",
+                        node=current,
+                        start=send_time,
+                        end=arrival,
+                        parent_id=parent_sid,
+                        to=next_node,
+                    )
                 if availability.is_online(next_node, arrival):
                     node = next_node
                     time = arrival
                     hops += 1
                     delivered = True
+                    if sid is not None:
+                        parent_sid = sid
                     break
             if not delivered:
                 learned_dead.add(next_node)
+                if spans is not None:
+                    spans.emit(
+                        trace_id,
+                        "declare-dead",
+                        node=current,
+                        start=time,
+                        parent_id=parent_sid,
+                        target=next_node,
+                    )
                 time += (cfg.app_retransmissions + 1) * cfg.app_retx_interval
 
         # every routing-rule evaluation plus every (re)transmission attempt
         # is one discrete simulation event
         add_events_processed(events + messages + retransmissions)
+        metrics = telemetry.metrics
+        metrics.inc("pastry_lookups_total")
+        if outcome.success:
+            metrics.inc("pastry_lookups_success_total")
+        metrics.inc("pastry_messages_total", messages)
+        if retransmissions:
+            metrics.inc("pastry_retransmissions_total", retransmissions)
         if counters is not None:
             counters.messages_sent += messages
             counters.retransmissions += retransmissions

@@ -43,6 +43,7 @@ from repro.service.arrivals import ARRIVAL_KINDS, generate_arrivals
 from repro.service.windows import SLOPolicy, WindowStats, summarize_windows
 from repro.sim.engine import EventScheduler
 from repro.sim.rng import derive_rng
+from repro.telemetry import current as current_telemetry
 
 #: variants under sustained traffic: the maintenance-backed baseline plus
 #: both MPIL duplicate-suppression modes
@@ -284,6 +285,45 @@ def run_service(
         directory.remove_object(object_id)
     restore()
 
+    telemetry = current_telemetry()
+    spans = telemetry.spans
+    if spans is not None:
+        # one service trace per variant run: a root span for the stream and
+        # one child per request (the per-hop trees live in the lookup traces
+        # the protocol drivers emitted while the stream ran)
+        trace_id = spans.begin_trace(f"svc-{variant}")
+        root = spans.emit(
+            trace_id,
+            "svc-run",
+            node=client,
+            start=0.0,
+            end=config.duration,
+            variant=variant,
+            arrivals=len(records),
+        )
+        for record in records:
+            end = record.completion if record.completion is not None else config.duration
+            spans.emit(
+                trace_id,
+                f"svc-{record.kind}",
+                node=client,
+                start=record.arrival,
+                end=end,
+                parent_id=root,
+                success=record.success,
+            )
+    metrics = telemetry.metrics
+    metrics.inc("svc_arrivals_total", len(records), variant=variant)
+    metrics.inc(
+        "svc_success_total",
+        sum(1 for record in records if record.success),
+        variant=variant,
+    )
+    latency_hist = metrics.histogram("svc_discovery_latency", variant=variant)
+    for record in records:
+        if record.latency is not None:
+            latency_hist.observe(record.latency)
+
     windows = summarize_windows(records, config.duration, config.window, config.slo)
     return ServiceReport(
         variant=variant,
@@ -328,7 +368,20 @@ def service_rows(
         report = run_service(
             testbed, variant, availability, config, seed=seed, views=views
         )
+        metrics = current_telemetry().metrics
         for window in report.windows:
+            metrics.gauge(
+                "svc_window_arrivals", variant=variant, window=window.index
+            ).set(window.arrivals)
+            metrics.gauge(
+                "svc_window_p99", variant=variant, window=window.index
+            ).set(round(window.p99, 6))
+            metrics.gauge(
+                "svc_window_in_flight", variant=variant, window=window.index
+            ).set(window.peak_in_flight)
+            metrics.gauge(
+                "svc_window_success_rate", variant=variant, window=window.index
+            ).set(round(100.0 * window.success_rate, 1))
             rows.append(
                 (
                     VARIANT_LABELS[variant],

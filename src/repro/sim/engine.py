@@ -21,20 +21,25 @@ from heapq import heappop, heappush
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.telemetry.metrics import runtime_registry
 
 #: process-wide count of events executed by *all* scheduler instances and
 #: synchronous drivers (see :func:`add_events_processed`).  Experiments
 #: create many short-lived schedulers (one per timed lookup), so
 #: per-instance ``processed`` undercounts a whole run; the sweep runner and
 #: the perf profiler reset/snapshot this total around each task to record
-#: event counts and events/sec in manifests and BENCH files.
-_TOTAL_PROCESSED = 0
+#: event counts and events/sec in manifests and BENCH files.  The count
+#: lives on the process-wide :class:`~repro.telemetry.metrics.MetricsRegistry`
+#: (series ``sim_events_processed_total``); the functions below are shims
+#: kept for their many call sites.  Registry resets zero the counter in
+#: place, so holding the handle here stays correct across sweep tasks.
+_EVENTS = runtime_registry().counter("sim_events_processed_total")
 
 
 def events_processed_total() -> int:
     """Events executed in this process, summed over every scheduler and
     synchronous driver, since start or the last :func:`reset_events_processed`."""
-    return _TOTAL_PROCESSED
+    return int(_EVENTS.value)
 
 
 def reset_events_processed() -> int:
@@ -44,9 +49,8 @@ def reset_events_processed() -> int:
     process that executes it) so event counts and events/sec are never
     polluted by earlier tasks that ran in the same pooled process.
     """
-    global _TOTAL_PROCESSED
-    previous = _TOTAL_PROCESSED
-    _TOTAL_PROCESSED = 0
+    previous = int(_EVENTS.value)
+    _EVENTS.value = 0
     return previous
 
 
@@ -59,8 +63,7 @@ def add_events_processed(count: int) -> None:
     per request so ``events_processed_total`` reflects *all* simulation
     work, not only scheduler callbacks.
     """
-    global _TOTAL_PROCESSED
-    _TOTAL_PROCESSED += count
+    _EVENTS.inc(count)
 
 
 class Event:

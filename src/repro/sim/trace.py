@@ -27,22 +27,38 @@ class TraceRecord:
 
 
 class TraceRecorder:
-    """Append-only trace sink with simple filtering helpers."""
+    """Append-only trace sink with simple filtering helpers.
+
+    Bounded recorders (``max_records``) count overflow instead of losing
+    it silently: :attr:`dropped` says how many records were discarded, so
+    a truncated trace is never mistaken for a complete one.
+    """
 
     def __init__(self, max_records: Optional[int] = None):
         self._records: list[TraceRecord] = []
         self._max_records = max_records
+        self._dropped = 0
 
     def emit(self, time: float, kind: str, node: int, **detail: Any) -> None:
         if self._max_records is not None and len(self._records) >= self._max_records:
+            self._dropped += 1
             return
         self._records.append(TraceRecord(time=time, kind=kind, node=node, detail=detail))
+
+    @property
+    def dropped(self) -> int:
+        """Records discarded because the recorder was full."""
+        return self._dropped
 
     def __len__(self) -> int:
         return len(self._records)
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self._records)
+
+    def __str__(self) -> str:
+        suffix = f", {self._dropped} dropped" if self._dropped else ""
+        return f"TraceRecorder({len(self._records)} records{suffix})"
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All records with the given kind, in emission order."""
@@ -54,3 +70,4 @@ class TraceRecorder:
 
     def clear(self) -> None:
         self._records.clear()
+        self._dropped = 0

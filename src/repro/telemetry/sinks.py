@@ -1,0 +1,96 @@
+"""Telemetry sinks: deterministic JSONL span export and tree rendering.
+
+The exporter is the bridge from in-memory spans to artifacts: one JSON
+object per line, lines ordered by ``(trace_id, span_id)`` and each line
+serialised with sorted keys, so identical span streams yield
+byte-identical files (DET004-compliant: nothing iterates an unsorted
+container on the way out).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Iterable, Optional, Sequence, TextIO, Union
+
+from repro.errors import ConfigurationError
+from repro.telemetry.spans import Span
+
+
+def span_sort_key(span: Span) -> tuple[str, int]:
+    return (span.trace_id, span.span_id)
+
+
+def write_jsonl(
+    spans: Iterable[Span], destination: Union[str, pathlib.Path, TextIO]
+) -> int:
+    """Write spans as sorted JSONL; returns the number of lines written."""
+    ordered = sorted(spans, key=span_sort_key)
+    lines = [json.dumps(span.to_dict(), sort_keys=True) for span in ordered]
+    text = "".join(line + "\n" for line in lines)
+    if isinstance(destination, (str, pathlib.Path)):
+        pathlib.Path(destination).write_text(text, encoding="utf-8")
+    else:
+        destination.write(text)
+    return len(lines)
+
+
+def read_jsonl(source: Union[str, pathlib.Path, TextIO]) -> list[Span]:
+    """Read spans back from a JSONL export (inverse of :func:`write_jsonl`)."""
+    if isinstance(source, (str, pathlib.Path)):
+        text = pathlib.Path(source).read_text(encoding="utf-8")
+    else:
+        text = source.read()
+    spans = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            spans.append(Span.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError) as exc:
+            raise ConfigurationError(
+                f"invalid span JSONL at line {lineno}: {exc}"
+            ) from exc
+    return spans
+
+
+def render_hop_tree(spans: Sequence[Span], trace_id: Optional[str] = None) -> str:
+    """ASCII tree of one trace's spans, children indented under parents.
+
+    ``trace_id=None`` picks the first trace present.  Spans whose parent
+    was dropped by the recorder cap render at the root rather than being
+    lost.
+    """
+    if trace_id is None:
+        for span in sorted(spans, key=span_sort_key):
+            trace_id = span.trace_id
+            break
+    selected = sorted(
+        (span for span in spans if span.trace_id == trace_id), key=span_sort_key
+    )
+    if not selected:
+        return "(no spans)"
+    by_id = {span.span_id: span for span in selected}
+    children: dict[Optional[int], list[Span]] = {}
+    for span in selected:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+
+    lines: list[str] = [f"trace {trace_id}"]
+
+    def walk(span: Span, depth: int) -> None:
+        at = f" node={span.node}" if span.node is not None else ""
+        rendered = " ".join(f"{k}={v}" for k, v in span.attrs)
+        suffix = f" [{rendered}]" if rendered else ""
+        window = (
+            f"t={span.start:g}"
+            if span.end == span.start
+            else f"t={span.start:g}..{span.end:g}"
+        )
+        lines.append(f"{'  ' * (depth + 1)}{span.name}{at} {window}{suffix}")
+        for child in children.get(span.span_id, ()):
+            walk(child, depth + 1)
+
+    for root in children.get(None, ()):
+        walk(root, 0)
+    return "\n".join(lines)
